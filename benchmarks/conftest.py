@@ -1,0 +1,29 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Heavy inputs (the captured push trace, repeated-key arrays) are
+session-scoped: every figure bench reuses the same real traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.gather_scatter import KeyPattern, make_keys
+from repro.bench.push_bench import collect_push_trace
+
+
+@pytest.fixture(scope="session")
+def push_keys():
+    """Electron voxel keys captured from the laser-plasma deck."""
+    return collect_push_trace(nx=24, ny=12, nz=12, ppc=32, warm_steps=3)
+
+
+@pytest.fixture(scope="session")
+def repeated_keys():
+    keys, table = make_keys(KeyPattern.REPEATED, unique=8_000, reps=100)
+    return keys, table
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled results block (visible with pytest -s or in
+    the benchmark run's captured output)."""
+    print(f"\n==== {title} ====\n{body}")

@@ -1,0 +1,104 @@
+"""Ablation: CIC vs charge-conserving (Esirkepov) deposition.
+
+The paper's pipeline uses VPIC's charge-conserving deposition; our
+default is the cheaper CIC scatter. This ablation quantifies the
+trade: Esirkepov satisfies discrete continuity exactly (measured
+residual) at roughly 2-4x the deposition cost, while CIC leaves a
+finite continuity violation.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.vpic.deposit import cic_weights, deposit_current
+from repro.vpic.esirkepov import continuity_residual, deposit_current_esirkepov
+from repro.vpic.fields import FieldArrays, FieldSolver
+from repro.vpic.grid import Grid
+
+
+def _setup(n=20_000, seed=0):
+    grid = Grid(12, 12, 12, dx=0.5, dy=0.5, dz=0.5, dt=0.1)
+    rng = np.random.default_rng(seed)
+    lx, ly, lz = grid.lengths
+    x0 = rng.random(n) * lx
+    y0 = rng.random(n) * ly
+    z0 = rng.random(n) * lz
+    d = 0.4 * grid.dx
+    x1 = np.clip(x0 + rng.uniform(-d, d, n), 0, lx - 1e-6)
+    y1 = np.clip(y0 + rng.uniform(-d, d, n), 0, ly - 1e-6)
+    z1 = np.clip(z0 + rng.uniform(-d, d, n), 0, lz - 1e-6)
+    w = rng.random(n).astype(np.float64)
+    return grid, (x0, y0, z0), (x1, y1, z1), w
+
+
+def _rho(grid, pos, w, q):
+    out = np.zeros(grid.n_voxels)
+    ix, iy, iz = grid.cell_of_position(*pos)
+    fx, fy, fz = grid.cell_fraction(*[np.asarray(p, np.float64)
+                                      for p in pos])
+    _, sy, sz = grid.shape
+    for di, dj, dk, wt in cic_weights(fx, fy, fz):
+        vox = ((ix + di) * sy + (iy + dj)) * sz + (iz + dk)
+        np.add.at(out, vox, w * q / grid.cell_volume
+                  * np.asarray(wt, np.float64))
+    return out
+
+
+def _fold(grid, rho):
+    a = rho.reshape(grid.shape).copy()
+    for axis, n in ((0, grid.nx), (1, grid.ny), (2, grid.nz)):
+        sl = [slice(None)] * 3
+        sh = [slice(None)] * 3
+        sl[axis], sh[axis] = 0, n
+        a[tuple(sh)] += a[tuple(sl)]
+        a[tuple(sl)] = 0
+        sl[axis], sh[axis] = n + 1, 1
+        a[tuple(sh)] += a[tuple(sl)]
+        a[tuple(sl)] = 0
+    return a.reshape(-1)
+
+
+def _continuity(grid, fields, p0, p1, w, q):
+    s = FieldSolver(fields)
+    s.reduce_ghost_currents()
+    s.sync_periodic(("jx", "jy", "jz"))
+    r0 = _fold(grid, _rho(grid, p0, w, q))
+    r1 = _fold(grid, _rho(grid, p1, w, q))
+    res = continuity_residual(grid, r0, r1, fields, grid.dt)
+    scale = max(np.abs(r1 - r0).max() / grid.dt, 1e-30)
+    return float(np.abs(res).max() / scale)
+
+
+def test_ablation_cic_wallclock(benchmark):
+    grid, p0, p1, w = _setup()
+    fields = FieldArrays(grid, dtype=np.float64)
+    # CIC deposits at the endpoint with a velocity estimate.
+    ux = ((p1[0] - p0[0]) / grid.dt).astype(np.float32)
+    uy = ((p1[1] - p0[1]) / grid.dt).astype(np.float32)
+    uz = ((p1[2] - p0[2]) / grid.dt).astype(np.float32)
+
+    def run():
+        fields.clear_currents()
+        deposit_current(fields, p0[0], p0[1], p0[2], ux, uy, uz,
+                        w.astype(np.float32), -1.0)
+
+    benchmark(run)
+    rel = _continuity(grid, fields, p0, p1, w, -1.0)
+    emit("Ablation: CIC deposition",
+         f"relative continuity violation: {rel:.3e} (finite)")
+    assert rel > 1e-6        # CIC is *not* charge conserving
+
+
+def test_ablation_esirkepov_wallclock(benchmark):
+    grid, p0, p1, w = _setup()
+    fields = FieldArrays(grid, dtype=np.float64)
+
+    def run():
+        fields.clear_currents()
+        deposit_current_esirkepov(fields, *p0, *p1, w, -1.0, grid.dt)
+
+    benchmark(run)
+    rel = _continuity(grid, fields, p0, p1, w, -1.0)
+    emit("Ablation: Esirkepov deposition",
+         f"relative continuity violation: {rel:.3e} (roundoff)")
+    assert rel < 1e-5        # exact up to floating point

@@ -1,0 +1,54 @@
+"""Ablation: the cache-resident "don't sort at all" threshold (§5.5).
+
+The paper's superlinear regime skips sorting once the grid fits in
+LLC. This ablation sweeps grid sizes across each GPU's threshold and
+verifies the tuner's crossover sits where the sorted and unsorted
+push rates actually cross in the model.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.reporting import format_series
+from repro.cluster.cache_scaling import peak_grid_points, push_rate
+from repro.core.sorting import SortKind
+from repro.core.tuning import select_sort
+from repro.machine.specs import get_platform, gpu_platforms
+
+
+def test_tuner_crossover_tracks_cache(benchmark):
+    def thresholds():
+        out = {}
+        for p in gpu_platforms():
+            limit = p.llc_bytes // 72
+            below = select_sort(p, max(1, limit - 1)).kind
+            above = select_sort(p, limit + 100).kind
+            out[p.name] = (below, above, limit)
+        return out
+
+    data = benchmark(thresholds)
+    for name, (below, above, limit) in data.items():
+        assert below is SortKind.NONE, name
+        assert above is SortKind.TILED_STRIDED, name
+
+    emit("Ablation: no-sort threshold per GPU (grid points)",
+         "\n".join(f"  {n:14s} {v[2]:>10}" for n, v in data.items()))
+
+
+def test_unsorted_rate_peaks_inside_no_sort_region(benchmark):
+    """The unsorted push is fastest precisely in the region where the
+    tuner disables sorting."""
+    a100 = get_platform("A100")
+    peak = peak_grid_points(a100)
+    grids = np.unique(np.logspace(np.log10(peak) - 1.5,
+                                  np.log10(peak) + 1.5, 15).astype(int))
+
+    rates = benchmark.pedantic(
+        lambda: np.array([push_rate(a100, int(g)) for g in grids]),
+        rounds=1, iterations=1)
+
+    best_grid = grids[int(np.argmax(rates))]
+    assert select_sort(a100, int(best_grid)).kind is SortKind.NONE
+
+    emit("Ablation: A100 unsorted push rate vs grid size",
+         format_series(grids, rates * 1e-9, "grid points", "pushes/ns"))

@@ -1,0 +1,74 @@
+"""Ablation: how often to sort (the deck's sort_interval).
+
+VPIC decks sort every N steps; sorting too rarely lets the particle
+order decay (slower pushes), sorting every step wastes time in the
+sort itself. This ablation runs the *real* simulation at several
+intervals and reports push-order quality plus wall time.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.reporting import format_series
+from repro.core.sorting import SortKind
+from repro.vpic.workloads import uniform_plasma_deck
+
+
+def _order_decay(sim):
+    """Fraction of adjacent particle pairs in different cells —
+    0 for freshly standard-sorted, ~1 for random order."""
+    vox = sim.get_species("electron").live("voxel")
+    if vox.size < 2:
+        return 0.0
+    return float(np.mean(np.diff(vox) != 0))
+
+
+def test_ablation_sort_interval(benchmark):
+    intervals = [0, 1, 5, 10, 25]
+
+    def run_all():
+        out = {}
+        for interval in intervals:
+            deck = uniform_plasma_deck(
+                nx=10, ny=10, nz=10, ppc=8, uth=0.1, num_steps=25,
+                sort_kind=SortKind.STANDARD,
+                sort_interval=interval)
+            sim = deck.build()
+            sim.run(25)
+            out[interval] = _order_decay(sim)
+        return out
+
+    decay = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Never sorting leaves the order strictly worse than sorting
+    # every 5 steps.
+    assert decay[0] > decay[5]
+    # Frequent sorting keeps adjacent particles co-located.
+    assert decay[1] <= decay[25] + 0.05
+
+    emit("Ablation: sort interval vs particle-order decay "
+         "(fraction of adjacent pairs crossing cells)",
+         format_series(intervals, [decay[i] for i in intervals],
+                       "interval", "decay"))
+
+
+def test_ablation_sort_cost_share(benchmark):
+    """Sorting every step: what share of step time is the sort?"""
+    from repro.kokkos.profiling import kernel_timings, reset_kernel_timings
+
+    def run():
+        reset_kernel_timings()
+        deck = uniform_plasma_deck(nx=10, ny=10, nz=10, ppc=8,
+                                   num_steps=10, sort_interval=1)
+        sim = deck.build()
+        sim.run(10)
+        times = kernel_timings()
+        sort_s = sum(t.seconds for l, t in times.items() if "sort" in l)
+        push_s = sum(t.seconds for l, t in times.items() if "push" in l)
+        return sort_s, push_s
+
+    sort_s, push_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert push_s > 0 and sort_s > 0
+    emit("Ablation: per-step cost share at interval=1",
+         f"sort {sort_s * 1e3:.1f} ms vs push {push_s * 1e3:.1f} ms "
+         f"({sort_s / (sort_s + push_s):.1%} of particle work)")

@@ -1,0 +1,70 @@
+"""Ablation: tile size in tiled strided sort (Algorithm 2).
+
+The paper fixes tiles at 3x the GPU core count / the CPU thread
+count. This ablation sweeps tile sizes around those choices and
+checks the design point sits near the optimum: tiny tiles degenerate
+toward the standard order (atomic stalls), huge tiles toward plain
+strided (no cache window).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.gather_scatter import (KeyPattern, make_keys,
+                                        scaled_tile_size)
+from repro.bench.reporting import format_series
+from repro.core.sorting import tiled_strided_sort
+from repro.machine.specs import get_platform
+from repro.perfmodel.kernel_cost import gather_scatter_cost
+from repro.perfmodel.predict import predict_time
+from repro.perfmodel.trace import gather_scatter_trace
+
+UNIQUE = 8_000
+CS = UNIQUE / 10_000_000
+
+
+def _time_for_tile(platform, keys, tile):
+    k = keys.copy()
+    tiled_strided_sort(k, tile_size=tile)
+    trace = gather_scatter_trace(k, UNIQUE, cache_scale=CS)
+    return predict_time(platform, trace, gather_scatter_cost()).seconds
+
+
+def test_ablation_gpu_tile_size(benchmark):
+    a100 = get_platform("A100")
+    keys, _ = make_keys(KeyPattern.REPEATED, unique=UNIQUE)
+    tiles = [64, 128, 256, 512, 1024, 2048, 4096, UNIQUE]
+
+    times = benchmark.pedantic(
+        lambda: [_time_for_tile(a100, keys, t) for t in tiles],
+        rounds=1, iterations=1)
+    times = np.array(times)
+    design = scaled_tile_size(a100, UNIQUE)
+    design_time = _time_for_tile(a100, keys, design)
+
+    # The paper's design point is within 1.5x of the sweep optimum.
+    assert design_time < 1.5 * times.min()
+    # The largest tile (= plain strided) is not the optimum.
+    assert times[-1] > times.min()
+
+    emit(f"Ablation: A100 tile-size sweep (design point {design})",
+         format_series(tiles, times * 1e6, "tile (keys)", "us"))
+
+
+def test_ablation_cpu_tile_size(benchmark):
+    spr = get_platform("Platinum 8480")
+    keys, _ = make_keys(KeyPattern.REPEATED, unique=UNIQUE)
+    tiles = [2, 8, 28, 112, 448, 1792, UNIQUE]
+
+    times = benchmark.pedantic(
+        lambda: [_time_for_tile(spr, keys, t) for t in tiles],
+        rounds=1, iterations=1)
+    times = np.array(times)
+
+    # Tiny tiles re-create the atomic stall chains: the thread-count
+    # tile (112) must beat the 2-wide tile clearly.
+    t_design = times[tiles.index(112)]
+    assert t_design < 0.5 * times[0]
+
+    emit("Ablation: SPR tile-size sweep (design point 112 = threads)",
+         format_series(tiles, times * 1e6, "tile (keys)", "us"))

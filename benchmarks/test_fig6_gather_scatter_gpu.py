@@ -1,0 +1,94 @@
+"""Figure 6: the gather-scatter microbenchmark on GPUs.
+
+Panels mirror Figure 5 on the six GPU platforms. Asserts: contiguous
+keys are sort-insensitive and near peak; repeated keys crush the
+standard order (atomic replay) while strided restores coalescing and
+tiled-strided roughly doubles it again on A100/H100; the stencil
+shows the same ordering with smaller margins.
+"""
+
+from conftest import emit
+
+from repro.bench.gather_scatter import KeyPattern, bandwidth_table
+from repro.bench.reporting import format_table
+from repro.machine.specs import get_platform, gpu_platforms
+
+ORDER = ["standard", "strided", "tiled-strided"]
+
+
+def _bw_rows(table):
+    return {p: {s: pred.effective_bandwidth_gbs for s, pred in row.items()}
+            for p, row in table.items()}
+
+
+def test_fig6a_contiguous(benchmark):
+    table = benchmark.pedantic(
+        lambda: bandwidth_table(gpu_platforms(), KeyPattern.CONTIGUOUS,
+                                unique=8_000),
+        rounds=1, iterations=1)
+    rows = _bw_rows(table)
+    for p in gpu_platforms():
+        vals = list(rows[p.name].values())
+        # "all sorting algorithms perform identically" (§5.4)
+        assert max(vals) / min(vals) < 1.2
+        assert max(vals) > 0.25 * p.stream_bw_gbs
+    emit("Figure 6a: contiguous keys, GPU effective GB/s",
+         format_table(rows, fmt="{:.0f}", col_order=ORDER))
+
+
+def test_fig6b_repeated(benchmark):
+    table = benchmark.pedantic(
+        lambda: bandwidth_table(gpu_platforms(), KeyPattern.REPEATED,
+                                unique=8_000),
+        rounds=1, iterations=1)
+    rows = _bw_rows(table)
+    for p in gpu_platforms():
+        row = rows[p.name]
+        # Strided restores coalescing over the standard order.
+        assert row["strided"] > 1.5 * row["standard"], p.name
+
+    # "especially on V100, MI100, and MI250": worst relative standard.
+    std_frac = {p.name: rows[p.name]["standard"] / p.stream_bw_gbs
+                for p in gpu_platforms()}
+    for amd in ("MI100", "MI250"):
+        assert std_frac[amd] < std_frac["H100"]
+
+    # Tiled-strided nearly doubles strided on A100/H100 (§5.4).
+    for nv in ("A100", "H100"):
+        ratio = rows[nv]["tiled-strided"] / rows[nv]["strided"]
+        assert ratio > 1.5
+
+    emit("Figure 6b: repeated keys (100x), GPU effective GB/s",
+         format_table(rows, fmt="{:.0f}", col_order=ORDER))
+
+
+def test_fig6c_stencil(benchmark):
+    table = benchmark.pedantic(
+        lambda: bandwidth_table(gpu_platforms(), KeyPattern.STENCIL,
+                                unique=8_000),
+        rounds=1, iterations=1)
+    rows = _bw_rows(table)
+    for p in gpu_platforms():
+        row = rows[p.name]
+        # Both strided orders improve over standard, but with smaller
+        # benefits than the pure repeated case (§5.4).
+        assert row["strided"] > row["standard"]
+        assert row["tiled-strided"] > row["standard"]
+    emit("Figure 6c: 5-point stencil, GPU effective GB/s",
+         format_table(rows, fmt="{:.0f}", col_order=ORDER))
+
+
+def test_fig6_stencil_gains_smaller_than_repeated(benchmark):
+    def both():
+        rep = bandwidth_table([get_platform("A100")], KeyPattern.REPEATED,
+                              unique=8_000)
+        st = bandwidth_table([get_platform("A100")], KeyPattern.STENCIL,
+                             unique=8_000)
+        return rep, st
+
+    rep, st = benchmark.pedantic(both, rounds=1, iterations=1)
+    rep_gain = (rep["A100"]["tiled-strided"].effective_bandwidth_gbs
+                / rep["A100"]["standard"].effective_bandwidth_gbs)
+    st_gain = (st["A100"]["tiled-strided"].effective_bandwidth_gbs
+               / st["A100"]["standard"].effective_bandwidth_gbs)
+    assert st_gain < rep_gain

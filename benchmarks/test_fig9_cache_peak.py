@@ -1,0 +1,50 @@
+"""Figure 9: particle pushes/ns vs grid size with sorting disabled.
+
+Asserts the cache-capacity peaks: ~13.8k grid points on V100, ~85.2k
+on A100 (a ~6x shift matching the cache growth), ~39.3k on MI300A;
+peak heights ordered V100 < A100 < MI300A; performance decays on both
+sides of each peak (atomic collisions left, cache misses right).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.reporting import format_series
+from repro.bench.scaling_bench import fig9_series
+from repro.cluster.cache_scaling import peak_grid_points, pushes_per_ns
+from repro.machine.specs import get_platform
+
+PAPER_PEAKS = {"V100S": 13_824, "A100": 85_184, "MI300A (GPU)": 39_304}
+
+
+def test_fig9_peak_locations(benchmark):
+    peaks = benchmark(lambda: {
+        name: peak_grid_points(get_platform(name)) for name in PAPER_PEAKS})
+    for name, paper in PAPER_PEAKS.items():
+        assert abs(peaks[name] - paper) / paper < 0.15, name
+    # A100 peak ~6x V100's, mirroring the cache growth (§5.5).
+    assert 5 < peaks["A100"] / peaks["V100S"] < 8
+
+
+def test_fig9_sweeps(benchmark):
+    data = benchmark.pedantic(lambda: fig9_series(points_per_decade=6),
+                              rounds=1, iterations=1)
+    heights = {}
+    for name, (grids, rates, peak) in data.items():
+        best = int(np.argmax(rates))
+        heights[name] = rates[best]
+        # decay on both flanks of the peak
+        assert rates[best] > 1.3 * rates[0]
+        assert rates[best] > 1.3 * rates[-1]
+        stride = max(1, len(grids) // 12)
+        emit(f"Figure 9: {name} (model peak at ~{peak} points, "
+             f"paper ~{PAPER_PEAKS[name]})",
+             format_series(grids[::stride], rates[::stride],
+                           "grid points", "pushes/ns"))
+    # Peak heights ordered as the paper's ~4 / ~6 / ~9 pushes/ns.
+    assert heights["V100S"] < heights["A100"] < heights["MI300A (GPU)"]
+
+
+def test_fig9_rate_function_wallclock(benchmark):
+    a100 = get_platform("A100")
+    benchmark(lambda: pushes_per_ns(a100, 85_184))

@@ -1,0 +1,60 @@
+"""Table 1: platform registry and STREAM triad consistency.
+
+Regenerates the table's rows from the registry and validates the
+memory model reproduces each platform's STREAM triad bandwidth by
+construction (the measured figures are the model's inputs).
+"""
+
+import pytest
+from conftest import emit
+
+from repro._util import MiB
+from repro.bench.reporting import format_table
+from repro.machine.memory import MemoryModel, stream_triad_time
+from repro.machine.specs import cpu_platforms, gpu_platforms
+
+
+def test_table1_rows(benchmark):
+    def build():
+        rows = {}
+        for p in cpu_platforms() + gpu_platforms():
+            rows[p.name] = {
+                "cores": float(p.core_count),
+                "LLC MB": p.llc_bytes / MiB,
+                "BW GB/s": p.stream_bw_gbs,
+            }
+        return rows
+
+    rows = benchmark(build)
+    assert len(rows) == 12
+    emit("Table 1: platform registry",
+         format_table(rows, fmt="{:.1f}",
+                      col_order=["cores", "LLC MB", "BW GB/s"]))
+
+
+def test_table1_stream_triad_consistency(benchmark):
+    """Modelled triad time reproduces the measured bandwidth."""
+    n = 100_000_000   # large enough to be DRAM-resident everywhere
+
+    def triad_all():
+        out = {}
+        for p in cpu_platforms() + gpu_platforms():
+            t = stream_triad_time(p, n)
+            out[p.name] = 3 * n * 8 / t / 1e9
+        return out
+
+    bw = benchmark(triad_all)
+    for p in cpu_platforms() + gpu_platforms():
+        assert bw[p.name] == pytest.approx(p.stream_bw_gbs, rel=1e-9)
+
+
+def test_table1_random_access_below_stream(benchmark):
+    def check():
+        out = {}
+        for p in cpu_platforms() + gpu_platforms():
+            m = MemoryModel(p)
+            out[p.name] = m.random_access_bytes_per_s / m.peak_bytes_per_s
+        return out
+
+    fractions = benchmark(check)
+    assert all(0 < f <= 1.0 for f in fractions.values())

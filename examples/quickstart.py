@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: run a small plasma simulation with hardware-targeted
+sorting and inspect what the portability layer did.
+
+This touches the three layers a new user needs:
+
+1. build a simulation from a deck (``repro.vpic``),
+2. let the tuner pick the platform-appropriate sorting strategy
+   (``repro.core.tuning``),
+3. run it and read energy diagnostics + kernel timings.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.tuning import select_sort, select_strategy
+from repro.kokkos.profiling import kernel_timings, reset_kernel_timings
+from repro.machine import get_platform
+from repro.vpic.diagnostics import EnergyDiagnostic, energy_report
+from repro.vpic.sort_step import SortStep
+from repro.vpic.workloads import uniform_plasma_deck
+
+
+def main() -> None:
+    # A modest thermal plasma: 16^3 cells, 8 particles per cell.
+    deck = uniform_plasma_deck(nx=16, ny=16, nz=16, ppc=8,
+                               uth=0.05, num_steps=40)
+    sim = deck.build()
+    print(f"deck '{deck.name}': {sim.grid.n_cells} cells, "
+          f"{sim.total_particles} particles, dt={sim.grid.dt:.4f}")
+
+    # Ask the tuner what each platform would do with this problem.
+    for name in ("EPYC 7763", "A64FX", "A100", "MI300A (GPU)"):
+        platform = get_platform(name)
+        plan = select_sort(platform, sim.grid.n_cells)
+        strategy = select_strategy(platform)
+        print(f"  {name:14s} -> sort: {plan}; vectorization: "
+              f"{strategy.value}")
+
+    # Adopt the CPU plan (this host is a CPU) and run.
+    plan = select_sort(get_platform("EPYC 7763"), sim.grid.n_cells)
+    sim.sort_step = SortStep.from_plan(plan, interval=10)
+
+    reset_kernel_timings()
+    diag = EnergyDiagnostic()
+    sim.run(deck.num_steps, diag, sample_every=5)
+    print()
+    print(energy_report(diag))
+
+    print("\nkernel timings:")
+    for label, timer in sorted(kernel_timings().items()):
+        print(f"  {label:30s} {timer.seconds * 1e3:9.2f} ms "
+              f"({timer.launches} launches)")
+
+
+if __name__ == "__main__":
+    main()

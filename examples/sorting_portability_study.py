@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Hardware-targeted sorting study: a compact rerun of the paper's
+Section 5.4 on every Table-1 platform.
+
+Generates the gather-scatter microbenchmark's repeated-key pattern,
+applies each particle ordering (the *real* algorithms from
+``repro.core.sorting``), and prices the resulting access traces with
+the platform models. Then applies the same orderings to a real
+particle push trace captured from the laser-plasma deck.
+
+Run:  python examples/sorting_portability_study.py
+"""
+
+from repro.bench.gather_scatter import KeyPattern, bandwidth_table
+from repro.bench.push_bench import collect_push_trace, fig7_sort_runtimes
+from repro.bench.reporting import format_table
+from repro.machine import cpu_platforms, gpu_platforms
+
+
+def main() -> None:
+    print("== Gather-scatter, repeated keys (Figure 5b/6b analogue) ==")
+    for group, plats in (("CPUs", cpu_platforms()), ("GPUs", gpu_platforms())):
+        table = bandwidth_table(plats, KeyPattern.REPEATED,
+                                unique=8_000)
+        rows = {p: {s: pred.effective_bandwidth_gbs
+                    for s, pred in preds.items()}
+                for p, preds in table.items()}
+        print(format_table(rows, title=f"\n{group}: effective GB/s",
+                           fmt="{:.1f}"))
+
+    print("\n== Particle push under each ordering (Figure 7 analogue) ==")
+    keys, table_entries = collect_push_trace(nx=24, ny=12, nz=12, ppc=32)
+    runtimes = fig7_sort_runtimes(gpu_platforms(), keys, table_entries)
+    rows = {p: {s: pred.seconds * 1e6 for s, pred in preds.items()}
+            for p, preds in runtimes.items()}
+    print(format_table(rows, title="\nGPUs: push kernel microseconds "
+                                   "(lower is better)", fmt="{:.1f}"))
+
+    print("\nThe pattern the paper reports: standard order collapses on "
+          "GPUs\n(atomic replay), strided restores coalescing, and "
+          "tiled-strided adds\ncache-window reuse on top.")
+
+
+if __name__ == "__main__":
+    main()

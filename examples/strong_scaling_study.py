@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Superlinear strong scaling study (the paper's Section 5.5).
+
+First sweeps grid size at fixed particle count per GPU (Figure 9's
+cache peaks), then runs the Figure 10 strong-scaling curves on
+Sierra, Selene, and Tuolumne models.
+
+Run:  python examples/strong_scaling_study.py
+"""
+
+from repro.bench.scaling_bench import fig9_series, fig10_series
+from repro.bench.reporting import format_series
+
+
+def main() -> None:
+    print("== Figure 9: pushes/ns vs grid size (sorting disabled) ==")
+    for name, (grids, rates, peak) in fig9_series().items():
+        best = grids[rates.argmax()]
+        print(f"\n{name}: cache-capacity peak at ~{peak} grid points "
+              f"(max {rates.max():.1f} pushes/ns near {best})")
+        stride = max(1, len(grids) // 10)
+        print(format_series(grids[::stride], rates[::stride],
+                            "grid points", "pushes/ns"))
+
+    print("\n== Figure 10: strong scaling ==")
+    for system_name in ("Sierra", "Selene", "Tuolumne"):
+        system, points, sp = fig10_series(system_name)
+        base = points[0].n_gpus
+        print(f"\n{system.name} ({system.gpu.name}, "
+              f"{system.gpus_per_node}/node):")
+        print(f"  {'GPUs':>6} {'grid/GPU':>10} {'step ms':>9} "
+              f"{'speedup':>9} {'vs ideal':>9} {'comm %':>7}")
+        for p, v in zip(points, sp):
+            ideal = p.n_gpus / base
+            print(f"  {p.n_gpus:>6} {p.grid_per_gpu:>10} "
+                  f"{p.step_seconds * 1e3:>9.3f} {v:>9.2f} "
+                  f"{v / ideal:>9.2f} {p.comm_fraction * 100:>6.1f}%")
+        print("  (vs ideal > 1 means superlinear)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Two-stream instability: physics validation of the PIC core.
+
+Two cold counter-streaming electron beams are unstable; the
+longitudinal electric field grows exponentially at a rate near
+``w_pe / (2 sqrt(2))`` for symmetric beams. This example runs the
+deck, fits the growth rate from the recorded field energy, and prints
+an ASCII view of the energy history.
+
+Run:  python examples/two_stream_instability.py
+"""
+
+import numpy as np
+
+from repro.vpic.diagnostics import EnergyDiagnostic, exponential_growth_rate
+from repro.vpic.workloads import two_stream_deck
+
+
+def ascii_series(values, width: int = 60, height: int = 12) -> str:
+    """Tiny log-scale ASCII plot."""
+    v = np.asarray(values, dtype=float)
+    v = np.where(v > 0, v, np.nan)
+    logs = np.log10(v)
+    lo = np.nanmin(logs)
+    hi = np.nanmax(logs)
+    span = max(hi - lo, 1e-12)
+    cols = np.linspace(0, len(v) - 1, width).astype(int)
+    rows = []
+    for level in range(height, -1, -1):
+        thresh = lo + span * level / height
+        line = "".join(
+            "*" if np.isfinite(logs[c]) and logs[c] >= thresh else " "
+            for c in cols)
+        rows.append(f"1e{thresh:+06.2f} |{line}")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    deck = two_stream_deck(nx=64, ppc=64, drift=0.1, num_steps=800)
+    sim = deck.build()
+    print(f"two-stream: {sim.grid.n_cells} cells, "
+          f"{sim.total_particles} particles")
+
+    diag = EnergyDiagnostic()
+    sim.run(deck.num_steps, diag, sample_every=8)
+
+    t = diag.series("time")
+    e_field = diag.series("electric")
+
+    # Fit the steepest 10-sample window of the log-energy history —
+    # the exponential phase between the noise floor and saturation.
+    loge = np.log(np.maximum(e_field, 1e-30))
+    gamma = max(
+        np.polyfit(t[lo:lo + 10], loge[lo:lo + 10], 1)[0] / 2
+        for lo in range(2, len(e_field) - 10))
+    theory = 1.0 / (2.0 * np.sqrt(2.0))
+    print(f"measured growth rate: {gamma:.3f}  "
+          f"(cold-beam theory ~{theory:.3f} w_pe)")
+    print(f"field energy grew {e_field.max() / max(e_field[2], 1e-30):.1e}x "
+          "from the noise floor\n")
+    print(ascii_series(e_field))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Small shared utilities used across the :mod:`repro` package.
+
+Kept deliberately tiny: validation helpers and unit formatting that
+several subsystems (machine models, benchmarks, reporting) need, so
+that no heavier module has to be imported just for these.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_nonnegative",
+    "format_bytes",
+    "format_rate",
+    "format_time",
+    "geomean",
+    "KiB",
+    "MiB",
+    "GiB",
+]
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with *message* when *condition* is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that *value* is a finite number > 0 and return it."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Validate that *value* is a finite number >= 0 and return it."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (``1.5 GiB`` style)."""
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    for unit, scale in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if nbytes >= scale:
+            return f"{nbytes / scale:.2f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Human-readable bandwidth (``123.4 GB/s`` style, decimal units)."""
+    if bytes_per_second < 0:
+        raise ValueError(f"rate must be non-negative, got {bytes_per_second}")
+    for unit, scale in (("TB/s", 1e12), ("GB/s", 1e9), ("MB/s", 1e6)):
+        if bytes_per_second >= scale:
+            return f"{bytes_per_second / scale:.2f} {unit}"
+    return f"{bytes_per_second:.0f} B/s"
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration (``12.3 ms`` style)."""
+    if seconds < 0:
+        raise ValueError(f"time must be non-negative, got {seconds}")
+    for unit, scale in (("s", 1.0), ("ms", 1e-3), ("us", 1e-6)):
+        if seconds >= scale:
+            return f"{seconds / scale:.3g} {unit}"
+    return f"{seconds / 1e-9:.3g} ns"
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; raises on empty/nonpositive input."""
+    if len(values) == 0:
+        raise ValueError("geomean of empty sequence")
+    total = 0.0
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(values))

@@ -1,0 +1,189 @@
+"""The gather-scatter microbenchmark (§5.4, Figures 5 and 6).
+
+The paper processes one billion doubles under three key patterns:
+
+- **contiguous** — unique keys in sorted order (the coalesced ideal);
+- **repeated** — 10 M unique keys each repeated 100x (atomic
+  contention stress);
+- **stencil** — a 5-point stencil around repeated keys (the push
+  kernel's irregular flavour).
+
+Here the patterns are generated at a reduced scale with the
+working-set/cache ratio preserved via ``cache_scale`` (see
+``AccessTrace``); REPS stays at the paper's 100 so warp-level
+duplicate structure is exact. The kernel itself
+(:func:`run_gather_scatter`) is executable — wall-clock benches time
+it — while the platform bandwidths of Figures 5-6 come from the
+mechanism model over the *real* index arrays each sort produces.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.sorting import (SortKind, random_order, standard_sort,
+                                strided_sort, tiled_strided_sort)
+from repro.core.tuning import select_tile_size
+from repro.kokkos.atomics import atomic_add
+from repro.machine.specs import PlatformSpec
+from repro.perfmodel.kernel_cost import gather_scatter_cost, stencil_cost
+from repro.perfmodel.predict import Prediction, predict_time
+from repro.perfmodel.trace import AccessTrace, gather_scatter_trace
+
+__all__ = [
+    "KeyPattern",
+    "FULL_UNIQUE_KEYS",
+    "FULL_ELEMENTS",
+    "REPS",
+    "make_keys",
+    "apply_ordering",
+    "scaled_tile_size",
+    "run_gather_scatter",
+    "stencil_trace",
+    "bandwidth_table",
+]
+
+#: Paper-scale parameters (§5.4).
+FULL_UNIQUE_KEYS = 10_000_000
+FULL_ELEMENTS = 1_000_000_000
+REPS = 100
+#: Reduced-scale unique-key count used to build traces.
+DEFAULT_UNIQUE = 20_000
+
+
+class KeyPattern(enum.Enum):
+    CONTIGUOUS = "contiguous"
+    REPEATED = "repeated"
+    STENCIL = "stencil"
+
+
+def make_keys(pattern: KeyPattern, unique: int = DEFAULT_UNIQUE,
+              reps: int = REPS, seed: int = 0) -> tuple[np.ndarray, int]:
+    """Generate (keys, table_entries) for one §5.4 pattern.
+
+    Contiguous: each key once, sorted. Repeated/stencil: *unique*
+    keys repeated *reps* times, shuffled (decks then apply an
+    ordering).
+    """
+    if pattern is KeyPattern.CONTIGUOUS:
+        n = unique * reps  # same element count as the other patterns
+        return np.arange(n, dtype=np.int64), n
+    rng = np.random.default_rng(seed)
+    keys = np.repeat(np.arange(unique, dtype=np.int64), reps)
+    rng.shuffle(keys)
+    return keys, unique
+
+
+def scaled_tile_size(platform: PlatformSpec, unique: int,
+                     full_unique: int = FULL_UNIQUE_KEYS) -> int:
+    """Algorithm 2's tile size, rescaled with the trace.
+
+    The paper sizes GPU tiles against the core count (3x cores); at
+    reduced trace scale the tile must shrink by the same factor as
+    the table so the tile-window/cache ratio is preserved, but never
+    below two warps (tile >= warp keeps in-warp keys distinct). CPU
+    tiles (thread count) are absolute working-set choices and do not
+    scale.
+    """
+    full_tile = select_tile_size(platform)
+    if not platform.is_gpu:
+        return min(full_tile, unique)
+    scaled = int(round(full_tile * unique / full_unique))
+    return min(max(2 * platform.warp_size, scaled), unique)
+
+
+def apply_ordering(kind: SortKind, keys: np.ndarray,
+                   platform: PlatformSpec, unique: int,
+                   seed: int = 0) -> np.ndarray:
+    """Return a copy of *keys* in the given ordering."""
+    k = keys.copy()
+    if kind is SortKind.RANDOM:
+        random_order(k, seed=seed)
+    elif kind is SortKind.STANDARD:
+        standard_sort(k)
+    elif kind is SortKind.STRIDED:
+        strided_sort(k)
+    elif kind is SortKind.TILED_STRIDED:
+        tiled_strided_sort(k, tile_size=scaled_tile_size(platform, unique))
+    elif kind is SortKind.NONE:
+        pass
+    else:
+        raise ValueError(f"unhandled ordering {kind}")
+    return k
+
+
+def run_gather_scatter(keys: np.ndarray, table: np.ndarray,
+                       values: np.ndarray, out: np.ndarray) -> None:
+    """The actual microbenchmark kernel (executable; §5.4):
+
+    ``out[keys] += table[keys] * values`` with atomic accumulation.
+    """
+    if keys.shape != values.shape:
+        raise ValueError("keys and values must align")
+    gathered = table[keys]
+    atomic_add(out, keys, gathered * values)
+
+
+def stencil_trace(keys: np.ndarray, table_entries: int,
+                  cache_scale: float, width: int = 0,
+                  elem_bytes: int = 8) -> AccessTrace:
+    """Trace of the 5-point-stencil variant (Figures 5c/6c).
+
+    Each element gathers its key and the four stencil neighbours
+    (+-1, +-width where *width* defaults to ~sqrt(table)); executed
+    as five passes, matching how a SIMT kernel issues the five loads.
+    """
+    if width <= 0:
+        width = max(2, int(np.sqrt(table_entries)))
+    offsets = (0, -1, 1, -width, width)
+    passes = [np.clip(keys + off, 0, table_entries - 1) for off in offsets]
+    gather = np.concatenate(passes)
+    return AccessTrace(
+        n_ops=keys.size,
+        streamed_bytes=float(keys.size) * elem_bytes,
+        gather_indices=gather,
+        gather_elem_bytes=elem_bytes,
+        gather_table_entries=table_entries,
+        scatter_indices=keys,
+        scatter_elem_bytes=elem_bytes,
+        scatter_table_entries=table_entries,
+        scatter_is_atomic=True,
+        cache_scale=cache_scale,
+        label="stencil5",
+    )
+
+
+def bandwidth_table(platforms: list[PlatformSpec], pattern: KeyPattern,
+                    orderings: tuple[SortKind, ...] = (
+                        SortKind.STANDARD, SortKind.STRIDED,
+                        SortKind.TILED_STRIDED),
+                    unique: int = DEFAULT_UNIQUE,
+                    seed: int = 0) -> dict[str, dict[str, Prediction]]:
+    """One Figure 5/6 panel: effective bandwidth per platform x sort.
+
+    Returns ``{platform: {sort: Prediction}}``; bandwidths are
+    ``prediction.effective_bandwidth_gbs``.
+    """
+    keys, table = make_keys(pattern, unique, seed=seed)
+    if pattern is KeyPattern.CONTIGUOUS:
+        cache_scale = keys.size / FULL_ELEMENTS
+    else:
+        cache_scale = unique / FULL_UNIQUE_KEYS
+    cost = stencil_cost() if pattern is KeyPattern.STENCIL \
+        else gather_scatter_cost()
+    out: dict[str, dict[str, Prediction]] = {}
+    for p in platforms:
+        row: dict[str, Prediction] = {}
+        for kind in orderings:
+            ordered = apply_ordering(kind, keys, p, table, seed=seed)
+            if pattern is KeyPattern.STENCIL:
+                trace = stencil_trace(ordered, table, cache_scale)
+            else:
+                trace = gather_scatter_trace(ordered, table,
+                                             cache_scale=cache_scale,
+                                             label=pattern.value)
+            row[kind.value] = predict_time(p, trace, cost)
+        out[p.name] = row
+    return out

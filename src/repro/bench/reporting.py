@@ -1,0 +1,51 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The paper reports figures; our harness prints the same rows/series as
+aligned text tables (and the EXPERIMENTS.md generator reuses them).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(rows: Mapping[str, Mapping[str, float]],
+                 title: str = "", fmt: str = "{:.2f}",
+                 col_order: Sequence[str] | None = None) -> str:
+    """Render ``{row: {col: value}}`` as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)"
+    cols = list(col_order) if col_order else sorted(
+        {c for r in rows.values() for c in r})
+    name_w = max(len(str(r)) for r in rows) + 2
+    col_w = max(10, max(len(c) for c in cols) + 2)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * name_w + "".join(f"{c:>{col_w}}" for c in cols)
+    lines.append(header)
+    for rname, row in rows.items():
+        cells = []
+        for c in cols:
+            v = row.get(c)
+            cells.append(f"{fmt.format(v):>{col_w}}" if v is not None
+                         else f"{'-':>{col_w}}")
+        lines.append(f"{str(rname):<{name_w}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(xs: Sequence, ys: Sequence, xlabel: str = "x",
+                  ylabel: str = "y", title: str = "",
+                  fmt: str = "{:.3g}") -> str:
+    """Render paired series as two aligned columns."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{xlabel:>14}  {ylabel:>14}")
+    for x, y in zip(xs, ys):
+        lines.append(f"{fmt.format(x):>14}  {fmt.format(y):>14}")
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""Run-everything driver: regenerate the full evaluation as text.
+
+``full_report()`` runs every figure generator and formats one
+document mirroring EXPERIMENTS.md's structure — the programmatic
+source of the measured numbers recorded there. The CLI exposes it as
+``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+import numpy as np
+
+from repro.bench.gather_scatter import KeyPattern, bandwidth_table
+from repro.bench.push_bench import (collect_push_trace,
+                                    fig4_strategy_speedups,
+                                    fig7_sort_runtimes,
+                                    fig8_roofline_points)
+from repro.bench.rajaperf import fig3_normalized_runtimes
+from repro.bench.reporting import format_series, format_table
+from repro.bench.scaling_bench import fig9_series, fig10_series
+from repro.machine.specs import cpu_platforms, get_platform, gpu_platforms
+from repro.simd.inventory import (breakdown_by_width, kernel_fraction,
+                                  simd_fraction)
+
+__all__ = ["full_report", "section_fig1", "section_fig3",
+           "section_fig4", "section_fig5_6", "section_fig7",
+           "section_fig8", "section_fig9", "section_fig10"]
+
+
+def section_fig1() -> str:
+    by_width = breakdown_by_width()
+    rows = {f"{w}-bit": {"LoC": float(v)} for w, v in by_width.items()}
+    return (format_table(rows, title="Figure 1: VPIC 1.2 SIMD LoC by "
+                         "vector width", fmt="{:.0f}")
+            + f"\nSIMD fraction {simd_fraction():.1%} (paper >57%); "
+              f"kernels {kernel_fraction():.1%} (paper 11%)")
+
+
+def section_fig3() -> str:
+    data = fig3_normalized_runtimes()
+    out = []
+    for kernel, rows in data.items():
+        out.append(format_table(
+            rows, title=f"Figure 3 / {kernel} (normalized to auto)",
+            fmt="{:.2f}", col_order=["auto", "guided", "manual"]))
+    return "\n\n".join(out)
+
+
+def section_fig4(keys, table) -> str:
+    data = fig4_strategy_speedups(cpu_platforms(), keys, table)
+    rows = {}
+    for pname, row in data.items():
+        auto = row["auto"].seconds
+        rows[pname] = {s: auto / pred.seconds for s, pred in row.items()}
+    return format_table(rows, title="Figure 4: push speedup over auto",
+                        fmt="{:.2f}",
+                        col_order=["auto", "guided", "manual", "ad hoc"])
+
+
+def section_fig5_6() -> str:
+    out = []
+    for label, plats in (("5b (CPUs)", cpu_platforms()),
+                         ("6b (GPUs)", gpu_platforms())):
+        table = bandwidth_table(plats, KeyPattern.REPEATED, unique=8_000)
+        rows = {p: {s: pred.effective_bandwidth_gbs
+                    for s, pred in preds.items()}
+                for p, preds in table.items()}
+        out.append(format_table(
+            rows, title=f"Figure {label}: repeated keys, effective GB/s",
+            fmt="{:.1f}"))
+    return "\n\n".join(out)
+
+
+def section_fig7(keys, table) -> str:
+    data = fig7_sort_runtimes(gpu_platforms(), keys, table)
+    rows = {}
+    for p, row in data.items():
+        std = row["standard"].seconds
+        rows[p] = {s: std / pred.seconds for s, pred in row.items()}
+    return format_table(rows, title="Figure 7: push speedup over the "
+                        "standard order", fmt="{:.2f}")
+
+
+def section_fig8(keys, table) -> str:
+    out = []
+    for gname in ("H100", "MI250", "MI300A (GPU)"):
+        model, points = fig8_roofline_points(get_platform(gname), keys,
+                                             table)
+        rows = {p.label: {"AI": p.arithmetic_intensity,
+                          "GFLOP/s": p.gflops,
+                          "% peak": 100 * model.utilization(p)}
+                for p in points}
+        out.append(format_table(rows, title=f"Figure 8 / {gname}",
+                                fmt="{:.2f}"))
+    return "\n\n".join(out)
+
+
+def section_fig9() -> str:
+    out = []
+    for name, (grids, rates, peak) in fig9_series().items():
+        best = grids[int(np.argmax(rates))]
+        out.append(f"Figure 9 / {name}: peak {rates.max():.1f} pushes/ns "
+                   f"near {best} points (capacity model: {peak})")
+    return "\n".join(out)
+
+
+def section_fig10() -> str:
+    out = []
+    for system_name in ("Sierra", "Selene", "Tuolumne"):
+        system, points, sp = fig10_series(system_name)
+        pairs = ", ".join(f"{p.n_gpus}:{v:.1f}x"
+                          for p, v in zip(points, sp))
+        out.append(f"Figure 10 / {system.name}: {pairs}")
+    return "\n".join(out)
+
+
+def full_report(stream=None) -> str:
+    """Regenerate every figure; returns (and optionally streams) the
+    report text. Takes a few minutes."""
+    buf = io.StringIO()
+
+    def emit(text: str) -> None:
+        buf.write(text + "\n\n")
+        if stream is not None:
+            print(text + "\n", file=stream, flush=True)
+
+    t0 = time.time()
+    emit("=" * 70)
+    emit("repro evaluation report (regenerates every paper figure)")
+    emit(section_fig1())
+    emit(section_fig3())
+    keys, table = collect_push_trace()
+    emit(section_fig4(keys, table))
+    emit(section_fig5_6())
+    emit(section_fig7(keys, table))
+    emit(section_fig8(keys, table))
+    emit(section_fig9())
+    emit(section_fig10())
+    emit(f"report generated in {time.time() - t0:.1f} s")
+    return buf.getvalue()

@@ -1,0 +1,54 @@
+"""Figures 9 and 10: cache peaks and strong scaling series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cache_scaling import grid_sweep, peak_grid_points
+from repro.cluster.scaling import ScalingPoint, speedups, strong_scaling
+from repro.cluster.systems import SystemSpec, get_system
+from repro.machine.specs import get_platform
+
+__all__ = ["fig9_series", "fig10_series", "FIG10_CONFIGS"]
+
+
+def fig9_series(platform_names: tuple[str, ...] = (
+        "V100S", "A100", "MI300A (GPU)"),
+        points_per_decade: int = 8) -> dict:
+    """Figure 9: pushes/ns vs grid size per GPU.
+
+    Returns ``{platform: (grid_sizes, pushes_per_ns, model_peak)}``.
+    """
+    out = {}
+    for name in platform_names:
+        p = get_platform(name)
+        peak = peak_grid_points(p)
+        grids = np.unique(np.logspace(
+            np.log10(peak) - 2.2, np.log10(peak) + 1.8,
+            int(4 * points_per_decade)).astype(int))
+        out[name] = (grids, grid_sweep(p, grids), peak)
+    return out
+
+
+#: Per-system Figure 10 configuration: GPU counts swept, the global
+#: grid sized so the *target* count sits at the cache peak, and the
+#: fixed total particle count.
+FIG10_CONFIGS = {
+    "Sierra": dict(counts=[1, 2, 4, 8, 16, 32], peak_at=8,
+                   total_particles=2e7),
+    "Selene": dict(counts=[8, 16, 32, 64, 128, 256, 512], peak_at=64,
+                   total_particles=2e9),
+    "Tuolumne": dict(counts=[1, 2, 4, 8, 16, 32, 64, 128, 256], peak_at=64,
+                     total_particles=2e8),
+}
+
+
+def fig10_series(system_name: str) -> tuple[SystemSpec, list[ScalingPoint],
+                                            np.ndarray]:
+    """One Figure 10 panel: scaling points + speedups for a system."""
+    cfg = FIG10_CONFIGS[system_name]
+    system = get_system(system_name)
+    total_grid = peak_grid_points(system.gpu) * cfg["peak_at"]
+    points = strong_scaling(system, cfg["counts"], total_grid,
+                            cfg["total_particles"])
+    return system, points, speedups(points)

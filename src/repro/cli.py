@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Production codes ship drivers; this CLI exposes the library's main
+workflows without writing Python:
+
+- ``run-deck``     run a named workload deck with diagnostics
+- ``tune``         show the hardware-targeted plan for a platform/problem
+- ``platforms``    list the Table-1 platform registry (+ host)
+- ``figures``      regenerate selected paper figures as text tables
+- ``scaling``      print a strong-scaling curve for one system
+- ``checkpoint``   run a deck and write/restore a checkpoint
+- ``report``       regenerate the full evaluation report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+_DECKS = ("uniform", "two-stream", "weibel", "laser-plasma", "harris")
+
+
+def _deck_factory(name: str, steps: int | None, seed: int):
+    from repro.vpic import workloads as w
+    factories = {
+        "uniform": lambda: w.uniform_plasma_deck(seed=seed),
+        "two-stream": lambda: w.two_stream_deck(seed=seed),
+        "weibel": lambda: w.weibel_deck(seed=seed),
+        "laser-plasma": lambda: w.laser_plasma_deck(seed=seed),
+        "harris": lambda: w.harris_sheet_deck(seed=seed),
+    }
+    deck = factories[name]()
+    if steps is not None:
+        from dataclasses import replace
+        deck = replace(deck, num_steps=steps)
+    return deck
+
+
+def cmd_run_deck(args) -> int:
+    from repro.kokkos.profiling import kernel_timings, reset_kernel_timings
+    from repro.vpic.diagnostics import EnergyDiagnostic, energy_report
+    deck = _deck_factory(args.deck, args.steps, args.seed)
+    sim = deck.build()
+    print(f"deck '{deck.name}': {sim.grid.n_cells} cells, "
+          f"{sim.total_particles} particles, {deck.num_steps} steps")
+    reset_kernel_timings()
+    diag = EnergyDiagnostic()
+    sim.run(deck.num_steps, diag,
+            sample_every=max(1, deck.num_steps // 20))
+    print(energy_report(diag))
+    if args.timings:
+        for label, timer in sorted(kernel_timings().items()):
+            print(f"  {label:32s} {timer.seconds * 1e3:9.2f} ms "
+                  f"x{timer.launches}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.core.tuning import select_sort, select_strategy
+    from repro.machine.host import host_platform
+    from repro.machine.specs import get_platform
+    platform = (host_platform() if args.platform == "host"
+                else get_platform(args.platform))
+    plan = select_sort(platform, args.grid_points)
+    strategy = select_strategy(platform)
+    print(f"platform:      {platform.name} "
+          f"({'GPU' if platform.is_gpu else 'CPU'}, "
+          f"{platform.core_count} cores, "
+          f"{platform.stream_bw_gbs:.0f} GB/s)")
+    print(f"sort plan:     {plan}")
+    print(f"vectorization: {strategy.value}")
+    return 0
+
+
+def cmd_platforms(args) -> int:
+    from repro._util import MiB
+    from repro.machine.specs import cpu_platforms, gpu_platforms
+    print(f"{'name':18s} {'kind':5s} {'cores':>7s} {'LLC MB':>8s} "
+          f"{'GB/s':>8s} {'peak GF':>9s}")
+    for p in cpu_platforms() + gpu_platforms():
+        print(f"{p.name:18s} {'GPU' if p.is_gpu else 'CPU':5s} "
+              f"{p.core_count:>7d} {p.llc_bytes / MiB:>8.0f} "
+              f"{p.stream_bw_gbs:>8.1f} {p.peak_fp32_gflops:>9.0f}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.bench.reporting import format_table
+    which = args.which
+    if which in ("all", "fig3"):
+        from repro.bench.rajaperf import fig3_normalized_runtimes
+        data = fig3_normalized_runtimes()
+        for kernel, rows in data.items():
+            print(f"\nFigure 3 / {kernel} (runtime normalized to auto)")
+            print(format_table(rows, fmt="{:.2f}",
+                               col_order=["auto", "guided", "manual"]))
+    if which in ("all", "fig5", "fig6"):
+        from repro.bench.gather_scatter import KeyPattern, bandwidth_table
+        from repro.machine.specs import cpu_platforms, gpu_platforms
+        plats = (cpu_platforms() if which != "fig6" else []) + \
+            (gpu_platforms() if which != "fig5" else [])
+        table = bandwidth_table(plats, KeyPattern.REPEATED, unique=8000)
+        rows = {p: {s: pred.effective_bandwidth_gbs
+                    for s, pred in preds.items()}
+                for p, preds in table.items()}
+        print("\nFigures 5b/6b (repeated keys, effective GB/s)")
+        print(format_table(rows, fmt="{:.1f}"))
+    if which in ("all", "fig9"):
+        from repro.bench.scaling_bench import fig9_series
+        print("\nFigure 9 (cache peaks)")
+        for name, (grids, rates, peak) in fig9_series().items():
+            print(f"  {name}: peak at ~{peak} grid points, "
+                  f"max {rates.max():.1f} pushes/ns")
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    from repro.bench.scaling_bench import fig10_series
+    system, points, sp = fig10_series(args.system)
+    base = points[0].n_gpus
+    print(f"{system.name} strong scaling ({system.gpu.name}):")
+    print(f"{'GPUs':>6} {'grid/GPU':>10} {'step ms':>10} "
+          f"{'speedup':>9} {'vs ideal':>9}")
+    for p, v in zip(points, sp):
+        print(f"{p.n_gpus:>6} {p.grid_per_gpu:>10} "
+              f"{p.step_seconds * 1e3:>10.3f} {v:>9.2f} "
+              f"{v / (p.n_gpus / base):>9.2f}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.bench.runner import full_report
+    full_report(stream=sys.stdout)
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    from repro.vpic.checkpoint import load_checkpoint, save_checkpoint
+    deck = _deck_factory(args.deck, args.steps, seed=0)
+    sim = deck.build()
+    sim.run(deck.num_steps)
+    path = save_checkpoint(sim, args.path)
+    print(f"ran {sim.step_count} steps; checkpoint written to {path}")
+    restored = load_checkpoint(path)
+    match = np.array_equal(restored.species[0].live("x"),
+                           sim.species[0].live("x"))
+    print(f"restore verified: particle state identical = {match}")
+    return 0 if match else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VPIC 2.0 performance-portability reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run-deck", help="run a workload deck")
+    p.add_argument("deck", choices=_DECKS)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timings", action="store_true")
+    p.set_defaults(fn=cmd_run_deck)
+
+    p = sub.add_parser("tune", help="hardware-targeted plan")
+    p.add_argument("platform", help="Table-1 platform name or 'host'")
+    p.add_argument("--grid-points", type=int, default=1_000_000)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("platforms", help="list the platform registry")
+    p.set_defaults(fn=cmd_platforms)
+
+    p = sub.add_parser("figures", help="regenerate figure tables")
+    p.add_argument("which", choices=("all", "fig3", "fig5", "fig6",
+                                     "fig9"), default="all", nargs="?")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("scaling", help="strong-scaling curve")
+    p.add_argument("system", choices=("Sierra", "Selene", "Tuolumne"))
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("report", help="regenerate the full evaluation")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("checkpoint", help="run + checkpoint-roundtrip")
+    p.add_argument("deck", choices=_DECKS)
+    p.add_argument("path")
+    p.add_argument("--steps", type=int, default=10)
+    p.set_defaults(fn=cmd_checkpoint)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

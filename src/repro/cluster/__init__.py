@@ -1,0 +1,33 @@
+"""Cluster systems and the scalability study (§5.5).
+
+- :mod:`repro.cluster.systems` — Sierra, Selene, and Tuolumne node
+  configurations (GPUs per node, intra-/inter-node links).
+- :mod:`repro.cluster.cache_scaling` — the Figure 9 model: particle
+  push rate as a function of grid size with sorting disabled; the
+  sharp peak appears where the grid working set fills the effective
+  last-level cache.
+- :mod:`repro.cluster.scaling` — the Figure 10 strong-scaling
+  harness: fixed global problem, growing GPU counts, per-GPU push
+  rate from the cache model plus communication from the cost model —
+  superlinear speedup emerges when shrinking partitions drop into
+  cache, and flattens when communication dominates.
+"""
+
+from repro.cluster.systems import SystemSpec, SYSTEMS, get_system
+from repro.cluster.cache_scaling import (
+    push_rate,
+    pushes_per_ns,
+    peak_grid_points,
+    grid_sweep,
+)
+from repro.cluster.scaling import (
+    ScalingPoint,
+    strong_scaling,
+    speedups,
+)
+
+__all__ = [
+    "SystemSpec", "SYSTEMS", "get_system",
+    "push_rate", "pushes_per_ns", "peak_grid_points", "grid_sweep",
+    "ScalingPoint", "strong_scaling", "speedups",
+]

@@ -1,0 +1,125 @@
+"""The Figure 9 model: push rate vs grid size with sorting disabled.
+
+§5.5's observation: with a fixed particle count and *no sorting*,
+each GPU shows a sharp performance peak at a particular grid size —
+the point where the push kernel's per-grid-point working set
+(interpolator + accumulator, ~120 B/point) exactly fills the
+last-level cache's effectively usable fraction. Left of the peak,
+colliding atomic writes during current deposition serialize (high
+particles-per-cell); right of it, random gathers fall out of cache
+and become latency-bound.
+
+The model is analytic (no traces — Figure 9 sweeps dozens of sizes):
+
+``t_particle = max(t_compute, t_mem) + overlap + t_atomic`` with
+
+- ``t_compute`` from the SIMT compute model,
+- ``t_mem`` = streamed particle bytes at DRAM rate + indexed bytes
+  split by the residency fraction ``min(1, cache_eff / working_set)``
+  between LLC rate and a latency-bound DRAM path (unsorted gathers
+  are dependent accesses; their usable memory-level parallelism is a
+  fraction of the machine's — ``UNSORTED_MLP_FRACTION``),
+- ``t_atomic`` from the expected intra-warp duplicate count when
+  particles-per-cell is high (binomial occupancy of warp lanes over
+  the grid).
+
+Calibration: with ``POLLUTION_FRACTION = 0.25`` the predicted peaks
+land at 12.5k (V100, paper ~13.8k), 83k (A100, paper ~85.2k), and
+37k (MI300A, paper ~39.3k) grid points — the 6x V100->A100 peak-shift
+matching the cache growth that the paper highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.machine.memory import MemoryModel
+from repro.machine.specs import PlatformSpec
+from repro.perfmodel.kernel_cost import push_kernel_cost
+from repro.perfmodel.vector_efficiency import compute_time_gpu
+
+__all__ = ["push_rate", "pushes_per_ns", "peak_grid_points", "grid_sweep",
+           "PUSH_GRID_BYTES_PER_POINT"]
+
+#: Interpolator (72 B) + accumulator (48 B) per grid point.
+PUSH_GRID_BYTES_PER_POINT = 120
+#: Fraction of effective LLC the grid working set can actually hold
+#: under streaming-particle pollution.
+POLLUTION_FRACTION = 0.25
+#: Streamed particle bytes per push (struct read + write).
+PARTICLE_STREAM_BYTES = 64
+#: Indexed bytes per push: 72 gather + 2 x 48 RMW scatter.
+INDEXED_BYTES = 72 + 2 * 48
+#: DRAM transactions per push when the indexed accesses miss.
+MISS_TRANSACTIONS = 6.0
+#: Usable fraction of machine MLP for dependent unsorted gathers.
+UNSORTED_MLP_FRACTION = 0.5
+#: Atomic scatter operations per particle (accumulator components).
+SCATTER_OPS = 12
+
+
+def _effective_cache_bytes(platform: PlatformSpec) -> float:
+    return (platform.llc_bytes * platform.llc_locality_fraction
+            * POLLUTION_FRACTION)
+
+
+def peak_grid_points(platform: PlatformSpec,
+                     bytes_per_point: int = PUSH_GRID_BYTES_PER_POINT
+                     ) -> int:
+    """Grid size at which Figure 9's performance peak occurs."""
+    check_positive("bytes_per_point", bytes_per_point)
+    return int(_effective_cache_bytes(platform) // bytes_per_point)
+
+
+def _expected_distinct(cells: float, lanes: int) -> float:
+    """Expected distinct cells hit by *lanes* uniform draws."""
+    if cells <= 0:
+        return 1.0
+    return cells * (1.0 - (1.0 - 1.0 / cells) ** lanes)
+
+
+def push_rate(platform: PlatformSpec, grid_points: int,
+              bytes_per_point: int = PUSH_GRID_BYTES_PER_POINT) -> float:
+    """Particle pushes per second on one GPU, sorting disabled."""
+    if not platform.is_gpu:
+        raise ValueError(f"push_rate models GPUs, got {platform.name}")
+    check_positive("grid_points", grid_points)
+    cost = push_kernel_cost()
+    t_compute = compute_time_gpu(platform, cost, 1)
+
+    working = grid_points * bytes_per_point
+    cache = _effective_cache_bytes(platform)
+    hit = min(1.0, cache / working)
+
+    mem = MemoryModel(platform)
+    t_stream = PARTICLE_STREAM_BYTES / platform.stream_bw_bytes
+    t_llc = hit * INDEXED_BYTES / platform.llc_bw_bytes
+    miss = 1.0 - hit
+    t_dram_bw = miss * INDEXED_BYTES / platform.stream_bw_bytes
+    t_dram_lat = (miss * MISS_TRANSACTIONS * platform.mem_latency_ns * 1e-9
+                  / (mem.mlp * UNSORTED_MLP_FRACTION))
+    t_mem = t_stream + t_llc + max(t_dram_bw, t_dram_lat)
+
+    # Atomic collisions at high particles-per-cell: expected excess
+    # serialized slots per warp lane.
+    warp = platform.warp_size
+    distinct = _expected_distinct(float(grid_points), warp)
+    excess_per_lane = (warp - distinct) / warp
+    concurrency = max(1, platform.core_count // warp)
+    t_atomic = (excess_per_lane * SCATTER_OPS * platform.atomic_ns * 1e-9
+                * warp / concurrency / warp)
+
+    total = max(t_compute, t_mem) + 0.3 * min(t_compute, t_mem) + t_atomic
+    return 1.0 / total
+
+
+def pushes_per_ns(platform: PlatformSpec, grid_points: int) -> float:
+    """Figure 9's y axis: particle pushes per nanosecond."""
+    return push_rate(platform, grid_points) * 1e-9
+
+
+def grid_sweep(platform: PlatformSpec, grid_points: np.ndarray | list
+               ) -> np.ndarray:
+    """Pushes/ns over a sweep of grid sizes (one Figure 9 series)."""
+    return np.array([pushes_per_ns(platform, int(g)) for g in grid_points])

@@ -1,0 +1,83 @@
+"""The three scaling-study systems (§5.1, §5.5).
+
+Node counts and link classes follow the paper's system descriptions:
+Sierra (IBM AC922, 4x V100, EDR InfiniBand), Selene (DGX SuperPOD,
+8x A100, 8-rail HDR), Tuolumne (El Capitan-class, 4x MI300A,
+Slingshot-11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.machine.specs import PlatformSpec, get_platform
+from repro.mpi.costmodel import CommCostModel, INTERCONNECTS, LinkSpec
+
+__all__ = ["SystemSpec", "SYSTEMS", "get_system"]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One machine: GPU platform + node topology + links."""
+
+    name: str
+    gpu_name: str
+    gpus_per_node: int
+    intra_node: LinkSpec
+    inter_node: LinkSpec
+    max_gpus: int
+    staging_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("gpus_per_node", self.gpus_per_node)
+        check_positive("max_gpus", self.max_gpus)
+
+    @property
+    def gpu(self) -> PlatformSpec:
+        return get_platform(self.gpu_name)
+
+    def cost_model(self) -> CommCostModel:
+        return CommCostModel(
+            intra_node=self.intra_node,
+            inter_node=self.inter_node,
+            gpus_per_node=self.gpus_per_node,
+            staging_factor=self.staging_factor,
+        )
+
+
+SYSTEMS: dict[str, SystemSpec] = {
+    "Sierra": SystemSpec(
+        name="Sierra",
+        gpu_name="V100S",
+        gpus_per_node=4,
+        intra_node=INTERCONNECTS["nvlink2"],
+        inter_node=INTERCONNECTS["ib_edr"],
+        max_gpus=4 * 4320,
+    ),
+    "Selene": SystemSpec(
+        name="Selene",
+        gpu_name="A100",
+        gpus_per_node=8,
+        intra_node=INTERCONNECTS["nvlink3"],
+        inter_node=INTERCONNECTS["ib_hdr8"],
+        max_gpus=8 * 560,
+    ),
+    "Tuolumne": SystemSpec(
+        name="Tuolumne",
+        gpu_name="MI300A (GPU)",
+        gpus_per_node=4,
+        intra_node=INTERCONNECTS["infinity_fabric"],
+        inter_node=INTERCONNECTS["slingshot11"],
+        max_gpus=4 * 1152,
+    ),
+}
+
+
+def get_system(name: str) -> SystemSpec:
+    """Look up one of the scaling-study systems by name."""
+    try:
+        return SYSTEMS[name]
+    except KeyError:
+        known = ", ".join(sorted(SYSTEMS))
+        raise KeyError(f"unknown system {name!r}; known: {known}") from None

@@ -1,0 +1,141 @@
+"""Empirical auto-tuning: search the sort-configuration space.
+
+§5.4 closes with "the choice of sorting strategy must be tuned to
+each architecture to maximize both bandwidth and computational
+throughput". :mod:`repro.core.tuning` encodes the paper's *rules*;
+this module instead *searches*: given a platform and a real key
+trace, it prices every candidate (ordering, tile size) with the
+performance model and returns the best — along with how the rule-based
+plan compares. The ablation benches use it to show the published
+rules sit at or near the searched optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.core.sorting import SortKind
+from repro.core.tuning import select_sort, select_tile_size
+from repro.machine.specs import PlatformSpec
+from repro.perfmodel.kernel_cost import KernelCost, gather_scatter_cost
+from repro.perfmodel.predict import predict_time
+from repro.perfmodel.trace import gather_scatter_trace
+
+__all__ = ["Candidate", "TuneResult", "autotune_sort"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One sort configuration with its modelled runtime."""
+
+    kind: SortKind
+    tile_size: int
+    seconds: float
+
+    def describe(self) -> str:
+        tile = f" tile={self.tile_size}" if self.tile_size else ""
+        return f"{self.kind.value}{tile}: {self.seconds * 1e6:.1f} us"
+
+
+@dataclass
+class TuneResult:
+    """Search outcome: every candidate plus the rule-based reference."""
+
+    platform: str
+    candidates: list[Candidate]
+    rule_based: Candidate
+
+    @property
+    def best(self) -> Candidate:
+        return min(self.candidates, key=lambda c: c.seconds)
+
+    @property
+    def rule_gap(self) -> float:
+        """Rule-based runtime relative to the searched optimum
+        (1.0 = the rules found the optimum)."""
+        return self.rule_based.seconds / self.best.seconds
+
+    def summary(self) -> str:
+        lines = [f"autotune on {self.platform}:"]
+        for c in sorted(self.candidates, key=lambda c: c.seconds):
+            marker = " <- best" if c is self.best else ""
+            lines.append(f"  {c.describe()}{marker}")
+        lines.append(f"  rule-based plan: {self.rule_based.describe()} "
+                     f"({self.rule_gap:.2f}x optimum)")
+        return "\n".join(lines)
+
+
+def _tile_candidates(platform: PlatformSpec, unique: int) -> list[int]:
+    """Tile sizes to sweep: powers of two around the design point."""
+    design = min(select_tile_size(platform), unique)
+    tiles = {design}
+    t = max(2, design // 8)
+    while t <= min(8 * design, unique):
+        tiles.add(min(t, unique))
+        t *= 2
+    return sorted(tiles)
+
+
+def autotune_sort(platform: PlatformSpec, keys: np.ndarray,
+                  table_entries: int,
+                  cost: KernelCost | None = None,
+                  cache_scale: float = 1.0,
+                  elem_bytes: int = 8) -> TuneResult:
+    """Search orderings x tile sizes for one platform and key trace.
+
+    *keys* is an (unsorted) key sample; the search applies each
+    candidate ordering to a copy and prices the resulting trace.
+    """
+    check_positive("table_entries", table_entries)
+    if cost is None:
+        cost = gather_scatter_cost()
+    from repro.bench.gather_scatter import apply_ordering
+
+    def price(kind: SortKind, tile: int) -> float:
+        k = keys.copy()
+        if kind is SortKind.TILED_STRIDED:
+            from repro.core.sorting import tiled_strided_sort
+            tiled_strided_sort(k, tile_size=tile)
+        else:
+            k = apply_ordering(kind, keys, platform, table_entries)
+        trace = gather_scatter_trace(k, table_entries,
+                                     elem_bytes=elem_bytes,
+                                     cache_scale=cache_scale)
+        return predict_time(platform, trace, cost).seconds
+
+    candidates: list[Candidate] = []
+    for kind in (SortKind.STANDARD, SortKind.STRIDED):
+        candidates.append(Candidate(kind, 0, price(kind, 0)))
+    for tile in _tile_candidates(platform, table_entries):
+        candidates.append(Candidate(SortKind.TILED_STRIDED, tile,
+                                    price(SortKind.TILED_STRIDED, tile)))
+
+    # The rule-based reference: rules reason about the *full-scale*
+    # problem this trace stands in for (cache_scale < 1 means the
+    # table is a reduced model of table/cache_scale entries), and the
+    # paper's tile prescription shrinks with the trace accordingly.
+    full_entries = max(table_entries, int(table_entries / cache_scale))
+    plan = select_sort(platform, full_entries)
+    if plan.kind is SortKind.NONE:
+        # Cache-resident regime: the rule says don't sort; price the
+        # unsorted trace as the reference.
+        trace = gather_scatter_trace(keys, table_entries,
+                                     elem_bytes=elem_bytes,
+                                     cache_scale=cache_scale)
+        rule = Candidate(SortKind.NONE, 0,
+                         predict_time(platform, trace, cost).seconds)
+        candidates.append(rule)
+    else:
+        if plan.tile_size:
+            from repro.bench.gather_scatter import scaled_tile_size
+            tile = scaled_tile_size(platform, table_entries,
+                                    full_unique=full_entries)
+        else:
+            tile = 0
+        rule_kind = plan.kind
+        rule = Candidate(rule_kind, tile, price(rule_kind, tile))
+    return TuneResult(platform=platform.name, candidates=candidates,
+                      rule_based=rule)

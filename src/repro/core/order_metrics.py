@@ -1,0 +1,99 @@
+"""Quantitative order-quality metrics for particle orderings.
+
+The sorting study's mechanisms can be summarized as three numbers for
+any key sequence, independent of any platform:
+
+- **coalescing score** — fraction of ideal warp transactions achieved
+  (1.0 = perfectly coalesced, like strided order);
+- **run-length statistics** — how long same-key runs are (long runs =
+  CPU cache reuse and GPU atomic replay, the standard order's
+  double-edged sword);
+- **reuse-distance profile** — median distinct-keys-between-reuses
+  (small = cache-window reuse, the tiled order's win).
+
+These are what the ablation benches report alongside modelled times,
+and they make the orderings comparable without running any model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.machine.cache import reuse_previous_positions
+from repro.machine.coalescing import count_transactions
+
+__all__ = ["OrderMetrics", "analyze_order", "coalescing_score",
+           "run_length_stats", "median_reuse_distance"]
+
+
+def coalescing_score(keys: np.ndarray, elem_bytes: int = 8,
+                     warp_size: int = 32, line_bytes: int = 64) -> float:
+    """Ideal-to-actual transaction ratio for warp-grouped access."""
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return 1.0
+    tx = count_transactions(keys, elem_bytes, warp_size, line_bytes)
+    elems_per_line = max(1, line_bytes // elem_bytes)
+    ideal = max(1, -(-keys.size // elems_per_line))
+    return min(1.0, ideal / tx)
+
+
+def run_length_stats(keys: np.ndarray) -> tuple[float, int]:
+    """(mean, max) length of consecutive same-key runs."""
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return 0.0, 0
+    boundaries = np.nonzero(np.diff(keys))[0]
+    lengths = np.diff(np.concatenate(([0], boundaries + 1, [keys.size])))
+    return float(lengths.mean()), int(lengths.max())
+
+
+def median_reuse_distance(keys: np.ndarray,
+                          max_trace: int = 200_000) -> float:
+    """Median time distance between successive uses of the same key.
+
+    Infinite (returned as ``inf``) when no key repeats. Time distance
+    upper-bounds the distinct-key stack distance, so it is the cheap
+    proxy the ablations sort orderings by.
+    """
+    keys = np.asarray(keys, dtype=np.int64).ravel()[:max_trace]
+    prev = reuse_previous_positions(keys)
+    pos = np.arange(keys.size)
+    reuses = prev >= 0
+    if not reuses.any():
+        return float("inf")
+    return float(np.median((pos - prev)[reuses]))
+
+
+@dataclass(frozen=True)
+class OrderMetrics:
+    """Bundle of the three order-quality numbers."""
+
+    coalescing: float
+    mean_run: float
+    max_run: int
+    median_reuse: float
+
+    def summary(self) -> str:
+        reuse = ("inf" if np.isinf(self.median_reuse)
+                 else f"{self.median_reuse:.0f}")
+        return (f"coalescing={self.coalescing:.2f} "
+                f"runs(mean={self.mean_run:.1f}, max={self.max_run}) "
+                f"reuse~{reuse}")
+
+
+def analyze_order(keys: np.ndarray, elem_bytes: int = 8,
+                  warp_size: int = 32,
+                  line_bytes: int = 64) -> OrderMetrics:
+    """Compute all order metrics for one key sequence."""
+    check_positive("warp_size", warp_size)
+    return OrderMetrics(
+        coalescing=coalescing_score(keys, elem_bytes, warp_size,
+                                    line_bytes),
+        mean_run=run_length_stats(keys)[0],
+        max_run=run_length_stats(keys)[1],
+        median_reuse=median_reuse_distance(keys),
+    )

@@ -1,0 +1,268 @@
+"""Hardware-targeted particle sorting (the paper's Section 3.2).
+
+VPIC sorts particles by cell index to improve the push kernel's memory
+access pattern, but the *optimal order differs per platform*:
+
+- **standard sort** (cell order): CPU-optimal — each thread takes a
+  cell and reuses its field data; but on GPUs consecutive lanes then
+  hammer the same cell (no coalescing, atomic pileups).
+- **strided sort** (Algorithm 1): rewrites keys so the sorted order is
+  one or more strictly monotonically increasing "rounds" containing
+  one instance of each key — consecutive lanes touch consecutive
+  cells, restoring coalescing.
+- **tiled strided sort** (Algorithm 2): splits keys into chunks of
+  ``TileSz`` cells; each chunk holds repeating tiles in strided order,
+  so a thread block's accesses are coalesced *and* confined to a
+  cache-resident window, recovering data reuse.
+- **random order**: the worst-case baseline Figure 7 includes.
+
+Both algorithms follow the paper's pseudocode exactly: O(N) key
+rewriting with ``atomic_fetch_add`` occurrence ranking, then the
+portability layer's ``sort_by_key``. The key-rewrite loops are
+expressed through :func:`repro.kokkos.parallel.parallel_for` with the
+vectorized fetch-add from :mod:`repro.kokkos.atomics`, so the code
+path is the same one a Kokkos port would take.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.kokkos.atomics import atomic_fetch_add
+from repro.kokkos.parallel import parallel_for
+from repro.kokkos.policy import RangePolicy
+from repro.kokkos.sort import sort_by_key
+
+__all__ = [
+    "SortKind",
+    "standard_sort",
+    "strided_sort",
+    "tiled_strided_sort",
+    "random_order",
+    "apply_sort",
+    "strided_keys",
+    "tiled_strided_keys",
+    "monotone_run_lengths",
+    "is_strided_order",
+    "is_tiled_strided_order",
+]
+
+
+class SortKind(enum.Enum):
+    """Particle orderings evaluated in Figures 5-8."""
+
+    RANDOM = "random"
+    STANDARD = "standard"
+    STRIDED = "strided"
+    TILED_STRIDED = "tiled-strided"
+    NONE = "none"           # cache-resident regime (§5.5): skip sorting
+
+
+def _check_keys(keys: np.ndarray) -> np.ndarray:
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {keys.shape}")
+    if keys.size and not np.issubdtype(keys.dtype, np.integer):
+        raise TypeError(f"keys must be integer cell indices, got {keys.dtype}")
+    return keys.astype(np.int64, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# Key rewriting (the O(N) passes of Algorithms 1 and 2)
+# ---------------------------------------------------------------------------
+
+def strided_keys(keys: np.ndarray) -> np.ndarray:
+    """Algorithm 1's key rewrite: ``(key-min) + occurrence*range``.
+
+    The returned keys, sorted ascending, group by occurrence index
+    first ("rounds"), then by key — producing the repeating strictly
+    monotonically increasing sequences of Figure 2. The paper's
+    pseudocode multiplies the occurrence by ``max_k + 1``; we use the
+    key range ``max_k - min_k + 1``, which is identical when keys
+    start at zero (VPIC cell indices) and produces the same *order*
+    always — while staying correct for arbitrary (e.g. negative)
+    integer keys, where ``max_k + 1`` can degenerate.
+    """
+    keys = _check_keys(keys)
+    if keys.size == 0:
+        return keys.copy()
+    min_k = int(keys.min())
+    max_k = int(keys.max())
+    key_range = max_k - min_k + 1
+    key_counts = np.zeros(key_range, dtype=np.int64)
+    new_keys = np.empty_like(keys)
+
+    def rewrite(batch: np.ndarray) -> None:
+        k = keys[batch]
+        occ = atomic_fetch_add(key_counts, k - min_k, 1)
+        new_keys[batch] = (k - min_k) + occ * key_range
+
+    parallel_for(RangePolicy.of(keys.size), rewrite, label="strided_keys")
+    return new_keys
+
+
+def tiled_strided_keys(keys: np.ndarray, tile_size: int) -> np.ndarray:
+    """Algorithm 2's key rewrite.
+
+    Keys are split into chunks of ``tile_size`` consecutive cell
+    values; each chunk holds ``max_r`` (max key multiplicity) tiles.
+    A key's new value is ``chunk*chunk_sz + tile*TileSz + id``, where
+    ``tile`` is the key's occurrence index — so within a chunk, sorted
+    order is tile-by-tile, and each tile is a strided-order run over
+    the chunk's cells.
+    """
+    check_positive("tile_size", tile_size)
+    keys = _check_keys(keys)
+    if keys.size == 0:
+        return keys.copy()
+    min_k = int(keys.min())
+    counts = np.bincount(keys - min_k)
+    max_r = int(counts.max())
+    chunk_sz = tile_size * max_r
+    key_counts = np.zeros(counts.size, dtype=np.int64)
+    new_keys = np.empty_like(keys)
+
+    def rewrite(batch: np.ndarray) -> None:
+        k = keys[batch]
+        kid = k - min_k
+        tile = atomic_fetch_add(key_counts, kid, 1)
+        chunk = kid // tile_size
+        new_keys[batch] = chunk * chunk_sz + tile * tile_size + kid
+
+    parallel_for(RangePolicy.of(keys.size), rewrite,
+                 label="tiled_strided_keys")
+    return new_keys
+
+
+# ---------------------------------------------------------------------------
+# The four orderings
+# ---------------------------------------------------------------------------
+
+def standard_sort(keys: np.ndarray, *values) -> np.ndarray:
+    """Plain ascending cell sort (VPIC's legacy order). In place."""
+    keys = _check_keys(keys)
+    return sort_by_key(keys, *values)
+
+
+def strided_sort(keys: np.ndarray, *values) -> np.ndarray:
+    """Algorithm 1: strided sort. Permutes in place, returns the perm.
+
+    Following the pseudocode: copy the keys, rewrite the copy, then
+    ``sort_by_key(new_keys, keys)`` and ``sort_by_key(new_keys,
+    values)`` — here fused into one stable sort on the rewritten keys
+    applied to keys and values together (identical result; the
+    rewritten keys are unique so stability is moot).
+    """
+    keys = _check_keys(keys)
+    new_keys = strided_keys(keys)
+    return sort_by_key(new_keys, keys, *values)
+
+
+def tiled_strided_sort(keys: np.ndarray, *values,
+                       tile_size: int) -> np.ndarray:
+    """Algorithm 2: tiled strided sort. Permutes in place."""
+    keys = _check_keys(keys)
+    new_keys = tiled_strided_keys(keys, tile_size)
+    return sort_by_key(new_keys, keys, *values)
+
+
+def random_order(keys: np.ndarray, *values, seed: int = 0) -> np.ndarray:
+    """Uniform random permutation (Figure 7's worst-case baseline)."""
+    keys = _check_keys(keys)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(keys.size)
+    keys[...] = keys[perm]
+    for v in values:
+        arr = v.data if hasattr(v, "data") else np.asarray(v)
+        arr[...] = arr[perm]
+    return perm
+
+
+def apply_sort(kind: SortKind, keys: np.ndarray, *values,
+               tile_size: int = 0, seed: int = 0) -> np.ndarray | None:
+    """Dispatch on :class:`SortKind`; returns the permutation (or None
+    for ``SortKind.NONE``)."""
+    if kind is SortKind.NONE:
+        return None
+    if kind is SortKind.RANDOM:
+        return random_order(keys, *values, seed=seed)
+    if kind is SortKind.STANDARD:
+        return standard_sort(keys, *values)
+    if kind is SortKind.STRIDED:
+        return strided_sort(keys, *values)
+    if kind is SortKind.TILED_STRIDED:
+        if tile_size <= 0:
+            raise ValueError(
+                "tiled-strided sort requires tile_size > 0 "
+                "(use repro.core.tuning.select_tile_size)"
+            )
+        return tiled_strided_sort(keys, *values, tile_size=tile_size)
+    raise ValueError(f"unhandled sort kind {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Order inspectors (tests + Figure 2 reproduction)
+# ---------------------------------------------------------------------------
+
+def monotone_run_lengths(keys: np.ndarray) -> np.ndarray:
+    """Lengths of maximal strictly-increasing runs in *keys*."""
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    breaks = np.nonzero(np.diff(keys) <= 0)[0]
+    bounds = np.concatenate(([0], breaks + 1, [keys.size]))
+    return np.diff(bounds)
+
+
+def is_strided_order(keys: np.ndarray) -> bool:
+    """True if *keys* is a sequence of strictly increasing rounds with
+    each key at most once per round and rounds shrinking (suffix
+    structure of Algorithm 1's output)."""
+    keys = np.asarray(keys)
+    if keys.size <= 1:
+        return True
+    runs = monotone_run_lengths(keys)
+    # Rounds must be non-increasing in length: round r+1 contains only
+    # keys with multiplicity > r+1, a subset of round r's keys.
+    if np.any(np.diff(runs) > 0):
+        return False
+    # Each round must contain distinct keys (strict monotonicity gives
+    # this within a run by construction).
+    start = 0
+    seen_rounds: list[np.ndarray] = []
+    for length in runs:
+        rnd = keys[start:start + length]
+        seen_rounds.append(rnd)
+        start += length
+    # Later rounds' key sets must be subsets of earlier rounds'.
+    for earlier, later in zip(seen_rounds, seen_rounds[1:]):
+        if not np.isin(later, earlier).all():
+            return False
+    return True
+
+
+def is_tiled_strided_order(keys: np.ndarray, tile_size: int) -> bool:
+    """True if every chunk of *keys* (cells grouped by ``tile_size``)
+    is internally in strided order.
+
+    Sorted tiled-strided output is chunk-major: all particles of chunk
+    0's cells first, each chunk's particles forming repeated
+    strictly-increasing tiles.
+    """
+    check_positive("tile_size", tile_size)
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        return True
+    chunks = (keys - keys.min()) // tile_size
+    # Chunks must appear in non-decreasing blocks.
+    if np.any(np.diff(chunks) < 0):
+        return False
+    # Each chunk's subsequence must be strided-ordered.
+    boundaries = np.nonzero(np.diff(chunks))[0] + 1
+    for seg in np.split(keys, boundaries):
+        if not is_strided_order(seg):
+            return False
+    return True

@@ -1,0 +1,99 @@
+"""The four vectorization strategies as executable kernel dispatch.
+
+A :class:`StrategyKernel` bundles up to four implementations of the
+same computation:
+
+- ``auto_impl`` — straight numpy, standing in for the compiler's
+  auto-vectorized loop (``#pragma ivdep``);
+- ``guided_impl`` — the ``#pragma omp simd`` + kernel-splitting
+  variant (defaults to ``auto_impl`` when no restructuring applies);
+- ``manual_impl(width, ...)`` — written against the Kokkos-SIMD-style
+  :class:`repro.simd.packs.Pack`;
+- ``adhoc_impl(vfloat, ...)`` — written against a VPIC 1.2 intrinsics
+  class from :mod:`repro.simd.intrinsics`.
+
+:func:`run_strategy` resolves the platform-appropriate vector width /
+intrinsics class and runs the chosen implementation, raising
+``LookupError`` where the paper's corresponding strategy simply does
+not exist (ad hoc on GPUs; §5.3's SVE gaps appear as width-1 packs,
+not errors). All implementations of a kernel must agree numerically —
+that's what makes them *strategies* rather than different algorithms —
+and the test suite enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.machine.specs import PlatformSpec
+from repro.simd.autovec import KernelTraits, Strategy
+from repro.simd.intrinsics import library_for_isa
+from repro.simd.packs import simd_width_for
+
+__all__ = ["Strategy", "StrategyKernel", "run_strategy",
+           "available_strategies"]
+
+
+@dataclass(frozen=True)
+class StrategyKernel:
+    """One computation, up to four strategy implementations."""
+
+    name: str
+    traits: KernelTraits
+    auto_impl: Callable
+    guided_impl: Callable | None = None
+    manual_impl: Callable | None = None
+    adhoc_impl: Callable | None = None
+
+    def implementation(self, strategy: Strategy) -> Callable:
+        """The callable for *strategy* (guided falls back to auto)."""
+        if strategy is Strategy.AUTO:
+            return self.auto_impl
+        if strategy is Strategy.GUIDED:
+            return self.guided_impl or self.auto_impl
+        if strategy is Strategy.MANUAL:
+            if self.manual_impl is None:
+                raise LookupError(f"{self.name} has no manual implementation")
+            return self.manual_impl
+        if strategy is Strategy.ADHOC:
+            if self.adhoc_impl is None:
+                raise LookupError(f"{self.name} has no ad hoc implementation")
+            return self.adhoc_impl
+        raise ValueError(f"unknown strategy {strategy}")
+
+
+def run_strategy(kernel: StrategyKernel, strategy: Strategy,
+                 platform: PlatformSpec, *args, **kwargs):
+    """Execute *kernel* under *strategy* on (a model of) *platform*.
+
+    MANUAL receives the pack width Kokkos SIMD selects on the platform
+    (1 on SVE-only chips — the A64FX slowdown of §5.3 is this width-1
+    fallback, not an error). ADHOC receives the widest VPIC 1.2
+    intrinsics class the platform's ISAs admit, and raises
+    ``LookupError`` on GPUs, where VPIC 1.2 never ran.
+    """
+    impl = kernel.implementation(strategy)
+    if strategy is Strategy.MANUAL:
+        width = simd_width_for(platform)
+        return impl(width, *args, **kwargs)
+    if strategy is Strategy.ADHOC:
+        lib = library_for_isa(platform.adhoc_isas)
+        return impl(lib.vfloat, *args, **kwargs)
+    return impl(*args, **kwargs)
+
+
+def available_strategies(kernel: StrategyKernel,
+                         platform: PlatformSpec) -> list[Strategy]:
+    """Strategies runnable for *kernel* on *platform*, paper order."""
+    out = [Strategy.AUTO, Strategy.GUIDED]
+    if kernel.manual_impl is not None:
+        out.append(Strategy.MANUAL)
+    if kernel.adhoc_impl is not None:
+        try:
+            library_for_isa(platform.adhoc_isas)
+        except LookupError:
+            pass
+        else:
+            out.append(Strategy.ADHOC)
+    return out

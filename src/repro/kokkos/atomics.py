@@ -1,0 +1,167 @@
+"""Atomic operations on Views with contention accounting.
+
+The scatter phase of the particle push (current deposition) is built
+on ``atomic_add``; the gather-scatter microbenchmark's "repeated keys"
+case exists to measure how atomics behave under contention. These
+functions perform the update correctly for duplicate indices
+(``np.add.at`` / ``np.minimum.at`` semantics) and, when accounting is
+enabled, record the duplicate structure the contention model consumes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.kokkos.view import View
+
+__all__ = [
+    "atomic_add",
+    "atomic_sub",
+    "atomic_min",
+    "atomic_max",
+    "atomic_fetch_add",
+    "AtomicCounters",
+    "atomic_counters",
+    "reset_atomic_counters",
+    "collect_atomics",
+]
+
+
+@dataclass
+class AtomicCounters:
+    """Tally of atomic operations and duplicate-target conflicts."""
+
+    operations: int = 0
+    distinct_targets: int = 0
+    conflicts: int = 0     # operations beyond the first per target, per call
+    calls: int = 0
+
+    def observe(self, indices: np.ndarray) -> None:
+        n = int(indices.size)
+        if n == 0:
+            return
+        distinct = int(np.unique(indices).size)
+        self.operations += n
+        self.distinct_targets += distinct
+        self.conflicts += n - distinct
+        self.calls += 1
+
+    @property
+    def conflict_fraction(self) -> float:
+        if self.operations == 0:
+            return 0.0
+        return self.conflicts / self.operations
+
+
+_counters = AtomicCounters()
+_accounting_enabled = False
+
+
+def atomic_counters() -> AtomicCounters:
+    """The global atomic tally (populated inside :func:`collect_atomics`)."""
+    return _counters
+
+
+def reset_atomic_counters() -> None:
+    global _counters
+    _counters = AtomicCounters()
+
+
+@contextlib.contextmanager
+def collect_atomics() -> Iterator[AtomicCounters]:
+    """Enable conflict accounting within the block; yields the tally.
+
+    Accounting costs a ``np.unique`` per call, so it is off by default
+    and enabled only by the models/benchmarks that need it.
+    """
+    global _accounting_enabled
+    saved = _accounting_enabled
+    _accounting_enabled = True
+    try:
+        yield _counters
+    finally:
+        _accounting_enabled = saved
+
+
+def _raw(target) -> np.ndarray:
+    return target.data if isinstance(target, View) else np.asarray(target)
+
+
+def _observe(indices: np.ndarray) -> None:
+    if _accounting_enabled:
+        _counters.observe(np.asarray(indices).ravel())
+
+
+def atomic_add(target, indices, values) -> None:
+    """``target[indices] += values`` with correct duplicate handling."""
+    arr = _raw(target)
+    idx = np.asarray(indices)
+    _observe(idx)
+    np.add.at(arr, idx, values)
+
+
+def atomic_sub(target, indices, values) -> None:
+    """``target[indices] -= values`` with correct duplicate handling."""
+    arr = _raw(target)
+    idx = np.asarray(indices)
+    _observe(idx)
+    np.subtract.at(arr, idx, values)
+
+
+def atomic_min(target, indices, values) -> None:
+    """Atomic elementwise minimum."""
+    arr = _raw(target)
+    idx = np.asarray(indices)
+    _observe(idx)
+    np.minimum.at(arr, idx, values)
+
+
+def atomic_max(target, indices, values) -> None:
+    """Atomic elementwise maximum."""
+    arr = _raw(target)
+    idx = np.asarray(indices)
+    _observe(idx)
+    np.maximum.at(arr, idx, values)
+
+
+def atomic_fetch_add(target, indices, values=1):
+    """Fetch-and-add: returns each lane's pre-update value.
+
+    This is the primitive both sorting algorithms are built on
+    (Algorithms 1 and 2: ``i = atomic_fetch_add(key_counts(key), 1)``).
+    For duplicate indices the fetched values are the *serialized*
+    sequence 0,1,2,... in lane order, exactly as hardware fetch-add
+    chains produce — computed vectorised via grouped cumulative
+    counting rather than a Python loop.
+    """
+    arr = _raw(target)
+    idx = np.asarray(indices).ravel()
+    _observe(idx)
+    vals = np.broadcast_to(np.asarray(values), idx.shape)
+
+    base = arr[idx].copy()
+    if np.ndim(values) == 0 and idx.size:
+        # Common fast path: uniform increment. Rank each lane within
+        # its duplicate group in stable lane order.
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        boundary = np.ones(idx.size, dtype=bool)
+        boundary[1:] = sorted_idx[1:] != sorted_idx[:-1]
+        group_start = np.maximum.accumulate(
+            np.where(boundary, np.arange(idx.size), 0))
+        rank_sorted = np.arange(idx.size) - group_start
+        rank = np.empty(idx.size, dtype=np.int64)
+        rank[order] = rank_sorted
+        fetched = base + rank * values
+        np.add.at(arr, idx, vals)
+        return fetched
+    # General path: per-lane values; serialize duplicates in order.
+    fetched = np.empty(idx.shape, dtype=arr.dtype)
+    for lane in range(idx.size):
+        fetched[lane] = arr[idx[lane]]
+        arr[idx[lane]] += vals[lane]
+    return fetched

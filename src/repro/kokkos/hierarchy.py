@@ -1,0 +1,92 @@
+"""Hierarchical parallelism helpers: TeamThreadRange / ThreadVectorRange.
+
+Kokkos' hierarchical model — league of teams, threads per team,
+vector lanes per thread — is how the paper's *auto* strategy expresses
+vectorizable inner loops (§4.2: "the hierarchical parallelism
+mechanisms provided by Kokkos"). These helpers give ported kernels
+the same structure: the team loop hands out work ranges, the vector
+loop is a numpy-batched lane range (our batched-kernel convention),
+and ``parallel_reduce``-style team reductions fold lane contributions
+deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.kokkos.policy import TeamMember
+
+__all__ = ["team_thread_range", "thread_vector_range",
+           "team_reduce", "parallel_for_team"]
+
+
+def team_thread_range(member: TeamMember, begin: int, end: int
+                      ) -> np.ndarray:
+    """The slice of ``[begin, end)`` this team's threads own.
+
+    Kokkos distributes the range across the league; the member's
+    lanes array already carries its share when built with
+    ``TeamPolicy.members(total_work=...)``; this helper instead
+    splits an arbitrary per-call range evenly by league position.
+    """
+    if end < begin:
+        raise ValueError(f"end {end} < begin {begin}")
+    n = end - begin
+    league = max(1, member.league_size)
+    bounds = np.linspace(begin, begin + n, league + 1, dtype=np.int64)
+    lo, hi = int(bounds[member.league_rank]), \
+        int(bounds[member.league_rank + 1])
+    return np.arange(lo, hi, dtype=np.int64)
+
+
+def thread_vector_range(indices: np.ndarray, width: int
+                        ) -> list[np.ndarray]:
+    """Split a thread's indices into vector-width lane batches."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return []
+    return np.array_split(indices,
+                          max(1, -(-indices.size // width)))
+
+
+def team_reduce(member: TeamMember, value, op: str = "sum"):
+    """Per-team reduction staging through team scratch.
+
+    Sequentially-consistent within the simulated team (lanes run
+    synchronously); accumulates into ``team_scratch['reduce']`` so
+    repeated calls across vector batches fold together.
+    """
+    if op not in ("sum", "max", "min"):
+        raise ValueError(f"unknown reduction op {op!r}")
+    key = f"reduce_{op}"
+    current = member.team_scratch.get(key)
+    if current is None:
+        member.team_scratch[key] = value
+    elif op == "sum":
+        member.team_scratch[key] = current + value
+    elif op == "max":
+        member.team_scratch[key] = max(current, value)
+    elif op == "min":
+        member.team_scratch[key] = min(current, value)
+    else:
+        raise ValueError(f"unknown reduction op {op!r}")
+    return member.team_scratch[key]
+
+
+def parallel_for_team(policy, work: int,
+                      body: Callable[[TeamMember, np.ndarray], None]
+                      ) -> None:
+    """League-parallel loop: each team receives its work indices.
+
+    ``body(member, indices)`` runs once per team with that team's
+    contiguous share of ``range(work)`` — the TeamThreadRange idiom
+    without the per-thread layer (our teams are whole thread blocks).
+    """
+    if work < 0:
+        raise ValueError(f"work must be >= 0, got {work}")
+    for member in policy.members(total_work=work):
+        body(member, member.lanes)

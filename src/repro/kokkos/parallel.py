@@ -1,0 +1,103 @@
+"""The Kokkos parallel patterns: for / reduce / scan.
+
+Kernels are *batched*: a kernel receives a numpy array of iteration
+indices (one execution grouping's worth) instead of a single index.
+This is the only deviation from the C++ API and it is what makes a
+pure-Python portability layer viable — the per-iteration work is
+vectorised numpy, and dispatch cost scales with the number of thread
+chunks/warps, not with N (see the package docstring).
+
+``parallel_for(n, kernel)`` / ``parallel_for(policy, kernel)``
+``parallel_reduce(n, kernel, reducer=Sum)`` — kernel returns a batch
+partial (scalar or array folded by the reducer).
+``parallel_scan(n, values)`` — exclusive prefix sum, returning the
+scan and the total, matching Kokkos' scan-with-total idiom used by
+sort binning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.kokkos.policy import MDRangePolicy, RangePolicy, TeamPolicy
+from repro.kokkos.profiling import record_kernel
+from repro.kokkos.reducers import Reducer, Sum
+
+__all__ = ["parallel_for", "parallel_reduce", "parallel_scan"]
+
+
+def _as_range_policy(policy) -> RangePolicy:
+    if isinstance(policy, RangePolicy):
+        return policy
+    if isinstance(policy, (int, np.integer)):
+        return RangePolicy.of(int(policy))
+    raise TypeError(f"expected RangePolicy or int, got {type(policy).__name__}")
+
+
+def parallel_for(policy, kernel: Callable, label: str = "parallel_for") -> None:
+    """Run *kernel* over every iteration of *policy*.
+
+    - ``RangePolicy`` / int: ``kernel(indices)`` per batch.
+    - ``MDRangePolicy``: ``kernel(*coords)`` with coordinate arrays.
+    - ``TeamPolicy``: ``kernel(team_member)`` per team.
+    """
+    with record_kernel(label):
+        if isinstance(policy, MDRangePolicy):
+            for batch in policy.batches():
+                kernel(*policy.unflatten(batch))
+            return
+        if isinstance(policy, TeamPolicy):
+            for member in policy.members():
+                kernel(member)
+            return
+        rp = _as_range_policy(policy)
+        for batch in rp.batches():
+            kernel(batch)
+
+
+def parallel_reduce(policy, kernel: Callable, reducer: Reducer = Sum,
+                    label: str = "parallel_reduce"):
+    """Reduce *kernel*'s per-batch partials with *reducer*.
+
+    The kernel receives an index batch and returns either a reduced
+    scalar for that batch or an array of per-iteration contributions
+    (folded with ``reducer.fold_batch``). Returns the joined total.
+    """
+    with record_kernel(label):
+        rp = _as_range_policy(policy)
+        partials = []
+        for batch in rp.batches():
+            contrib = kernel(batch)
+            if isinstance(contrib, np.ndarray):
+                if contrib.size == 0:
+                    continue
+                contrib = reducer.fold_batch(contrib)
+            partials.append(contrib)
+        return reducer.reduce_batches(partials)
+
+
+def parallel_scan(policy, values: np.ndarray,
+                  label: str = "parallel_scan") -> tuple[np.ndarray, float]:
+    """Exclusive prefix sum of *values* over the policy's range.
+
+    Returns ``(scan, total)``. Implemented with ``np.cumsum`` — the
+    deterministic equivalent of Kokkos' two-pass scan — but dispatched
+    through the policy so profiling sees it as a kernel.
+    """
+    with record_kernel(label):
+        rp = _as_range_policy(policy)
+        values = np.asarray(values)
+        if values.shape[0] != rp.size:
+            raise ValueError(
+                f"values length {values.shape[0]} != policy size {rp.size}"
+            )
+        scan = np.empty_like(values)
+        if values.size:
+            scan[0] = 0
+            np.cumsum(values[:-1], out=scan[1:])
+            total = scan[-1] + values[-1]
+        else:
+            total = values.dtype.type(0) if hasattr(values.dtype, "type") else 0
+        return scan, total

@@ -1,0 +1,106 @@
+"""Kokkos-Tools-style profiling: regions and kernel timers.
+
+The paper's evaluation separates "particle push kernel" time from full
+simulation time; this module provides the hooks that make that split
+observable in the reproduction: nested named regions and per-kernel
+wall-time accumulation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "push_region",
+    "pop_region",
+    "profiling_region",
+    "record_kernel",
+    "KernelTimer",
+    "kernel_timings",
+    "reset_kernel_timings",
+    "region_stack",
+]
+
+_region_stack: list[str] = []
+
+
+@dataclass
+class KernelTimer:
+    """Accumulated wall time and launch count for one kernel label."""
+
+    label: str
+    seconds: float = 0.0
+    launches: int = 0
+
+    def add(self, dt: float) -> None:
+        self.seconds += dt
+        self.launches += 1
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.launches if self.launches else 0.0
+
+
+_timers: dict[str, KernelTimer] = {}
+
+
+def push_region(name: str) -> None:
+    """Enter a named profiling region (``Kokkos::Profiling::pushRegion``)."""
+    _region_stack.append(name)
+
+
+def pop_region() -> str:
+    """Leave the innermost region, returning its name."""
+    if not _region_stack:
+        raise RuntimeError("pop_region with empty region stack")
+    return _region_stack.pop()
+
+
+def region_stack() -> tuple[str, ...]:
+    """Snapshot of the active region nesting (outermost first)."""
+    return tuple(_region_stack)
+
+
+@contextlib.contextmanager
+def profiling_region(name: str) -> Iterator[None]:
+    """``with profiling_region("push"): ...`` convenience wrapper."""
+    push_region(name)
+    try:
+        yield
+    finally:
+        pop_region()
+
+
+def _qualified(label: str) -> str:
+    if _region_stack:
+        return "/".join(_region_stack) + "/" + label
+    return label
+
+
+@contextlib.contextmanager
+def record_kernel(label: str) -> Iterator[None]:
+    """Time one kernel launch under the current region path."""
+    key = _qualified(label)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        timer = _timers.get(key)
+        if timer is None:
+            timer = _timers[key] = KernelTimer(key)
+        timer.add(dt)
+
+
+def kernel_timings() -> dict[str, KernelTimer]:
+    """All accumulated timers, keyed by region-qualified label."""
+    return dict(_timers)
+
+
+def reset_kernel_timings() -> None:
+    """Clear accumulated timers (tests and benchmark harness)."""
+    _timers.clear()

@@ -1,0 +1,50 @@
+"""Reduction operators for ``parallel_reduce``.
+
+Kokkos reducers carry an identity and a binary join; the parallel
+pattern combines per-batch partial results with the join. The join
+order is deterministic (batch order), which the guided-vectorization
+strategy relies on when reasoning about FP reassociation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Reducer", "Sum", "Prod", "Min", "Max", "MinMax"]
+
+
+@dataclass(frozen=True)
+class Reducer:
+    """Identity element + join function + batchwise fold."""
+
+    name: str
+    identity: object
+    join: Callable[[object, object], object]
+    fold_batch: Callable[[np.ndarray], object]
+
+    def reduce_batches(self, partials: list) -> object:
+        acc = self.identity
+        for p in partials:
+            acc = self.join(acc, p)
+        return acc
+
+
+Sum = Reducer("Sum", 0.0, lambda a, b: a + b, lambda arr: arr.sum())
+Prod = Reducer("Prod", 1.0, lambda a, b: a * b, lambda arr: arr.prod())
+Min = Reducer("Min", np.inf, min, lambda arr: arr.min())
+Max = Reducer("Max", -np.inf, max, lambda arr: arr.max())
+
+
+def _minmax_join(a, b):
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+MinMax = Reducer(
+    "MinMax",
+    (np.inf, -np.inf),
+    _minmax_join,
+    lambda arr: (arr.min(), arr.max()),
+)

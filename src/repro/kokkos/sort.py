@@ -1,0 +1,103 @@
+"""Sorting primitives: ``sort_by_key`` and ``BinSort``.
+
+Both hardware-targeted sorting algorithms (Algorithms 1 and 2) end
+with a call to the portability layer's ``sort_by_key``; VPIC's legacy
+standard sort is a bin/counting sort over cell indices. These are the
+exact primitives Kokkos provides, implemented with stable numpy sorts
+so duplicate keys preserve lane order (Kokkos BinSort is stable within
+bins, which the strided-key construction relies on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kokkos.view import View
+
+__all__ = ["argsort_stable", "sort_by_key", "BinSort"]
+
+
+def _as_ndarray(x) -> np.ndarray:
+    return x.data if isinstance(x, View) else np.asarray(x)
+
+
+def argsort_stable(keys) -> np.ndarray:
+    """Stable permutation that sorts *keys* ascending."""
+    return np.argsort(_as_ndarray(keys), kind="stable")
+
+
+def sort_by_key(keys, *values, in_place: bool = True):
+    """Sort *keys* ascending and apply the same permutation to *values*.
+
+    Mirrors ``Kokkos::Experimental::sort_by_key``. With ``in_place``
+    (default) the arrays/views are permuted in place and the
+    permutation is returned; otherwise sorted copies are returned as
+    ``(keys_sorted, values_sorted..., perm)``.
+    """
+    karr = _as_ndarray(keys)
+    if karr.ndim != 1:
+        raise ValueError(f"keys must be 1-D, got shape {karr.shape}")
+    perm = np.argsort(karr, kind="stable")
+    varrs = [_as_ndarray(v) for v in values]
+    for v in varrs:
+        if v.shape[0] != karr.shape[0]:
+            raise ValueError(
+                f"value length {v.shape[0]} != key length {karr.shape[0]}"
+            )
+    if in_place:
+        karr[...] = karr[perm]
+        for v in varrs:
+            v[...] = v[perm]
+        return perm
+    out = [karr[perm]] + [v[perm] for v in varrs] + [perm]
+    return tuple(out)
+
+
+class BinSort:
+    """Counting/bin sort over integer keys in ``[0, nbins)``.
+
+    The workhorse of VPIC's standard particle sort: O(N) binning with
+    a prefix-sum over bin counts, stable within bins. Exposes the
+    intermediate ``bin_counts`` / ``bin_offsets`` because the particle
+    push consumes them (cell ranges) and the tiled sort needs the max
+    bin occupancy.
+    """
+
+    def __init__(self, nbins: int):
+        if nbins <= 0:
+            raise ValueError(f"nbins must be positive, got {nbins}")
+        self.nbins = int(nbins)
+        self.bin_counts: np.ndarray | None = None
+        self.bin_offsets: np.ndarray | None = None
+
+    def create_permute_vector(self, keys) -> np.ndarray:
+        """Compute the stable bin-sort permutation for *keys*."""
+        karr = _as_ndarray(keys)
+        if karr.ndim != 1:
+            raise ValueError(f"keys must be 1-D, got shape {karr.shape}")
+        if karr.size and (karr.min() < 0 or karr.max() >= self.nbins):
+            raise ValueError(
+                f"keys out of range [0, {self.nbins}): "
+                f"min={karr.min()}, max={karr.max()}"
+            )
+        self.bin_counts = np.bincount(karr, minlength=self.nbins)
+        self.bin_offsets = np.concatenate(
+            ([0], np.cumsum(self.bin_counts)))
+        # Stable counting sort via argsort on the (small-range) keys.
+        return np.argsort(karr, kind="stable")
+
+    def sort(self, keys, *values) -> np.ndarray:
+        """Permute *keys* and *values* into bin order, in place."""
+        perm = self.create_permute_vector(keys)
+        karr = _as_ndarray(keys)
+        karr[...] = karr[perm]
+        for v in values:
+            arr = _as_ndarray(v)
+            arr[...] = arr[perm]
+        return perm
+
+    def max_bin_occupancy(self) -> int:
+        """Largest bin count from the last sort (tile sizing input)."""
+        if self.bin_counts is None:
+            raise RuntimeError("max_bin_occupancy before any sort")
+        return int(self.bin_counts.max()) if self.bin_counts.size else 0

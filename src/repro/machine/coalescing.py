@@ -1,0 +1,112 @@
+"""GPU warp-level memory coalescing model.
+
+GPUs issue memory requests per warp (32 threads on NVIDIA, 64-wide
+wavefronts on AMD). The hardware merges the lanes' addresses into the
+minimal set of line/sector transactions; throughput is proportional to
+the transaction count, not the lane count. This is the mechanism the
+paper's strided sort targets (Section 3.2): after strided sorting,
+consecutive threads touch consecutive cells, so each warp needs the
+minimum number of transactions.
+
+:func:`count_transactions` counts transactions exactly from real index
+arrays, fully vectorised: lanes are grouped into warps, lane addresses
+reduced to line IDs, and unique-per-row counts taken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.machine.specs import PlatformSpec
+
+__all__ = ["count_transactions", "CoalescingModel", "CoalescingStats"]
+
+
+def count_transactions(indices: np.ndarray, elem_bytes: int, warp_size: int,
+                       line_bytes: int) -> int:
+    """Number of memory transactions for a SIMT access of *indices*.
+
+    ``indices[i]`` is the element index accessed by lane ``i``; lanes
+    are grouped into warps of *warp_size* in order. Each warp performs
+    one transaction per distinct *line_bytes*-sized line its lanes
+    touch. The trailing partial warp (if any) is counted too.
+    """
+    check_positive("elem_bytes", elem_bytes)
+    check_positive("warp_size", warp_size)
+    check_positive("line_bytes", line_bytes)
+    indices = np.asarray(indices, dtype=np.int64).ravel()
+    n = indices.size
+    if n == 0:
+        return 0
+    lines = (indices * elem_bytes) // line_bytes
+    pad = (-n) % warp_size
+    if pad:
+        # Pad the final warp by repeating its last lane: repeated
+        # addresses never add transactions.
+        lines = np.concatenate([lines, np.full(pad, lines[-1])])
+    per_warp = lines.reshape(-1, warp_size)
+    per_warp = np.sort(per_warp, axis=1)
+    new_line = np.ones(per_warp.shape, dtype=bool)
+    new_line[:, 1:] = per_warp[:, 1:] != per_warp[:, :-1]
+    return int(new_line.sum())
+
+
+@dataclass
+class CoalescingStats:
+    """Transaction accounting for one SIMT gather or scatter."""
+
+    lanes: int
+    transactions: int
+    line_bytes: int
+
+    @property
+    def bytes_moved(self) -> int:
+        """DRAM-side traffic implied by the transactions."""
+        return self.transactions * self.line_bytes
+
+    @property
+    def efficiency(self) -> float:
+        """Ratio of ideal to actual transactions (1.0 = perfect).
+
+        Ideal is one transaction per ``line_bytes/elem`` lanes; we
+        report ``min_transactions / transactions`` computed from the
+        lane count assuming 4-byte elements unless overridden by the
+        caller via :class:`CoalescingModel`.
+        """
+        if self.transactions == 0:
+            return 1.0
+        min_tx = max(1, int(np.ceil(self.lanes * 4 / self.line_bytes)))
+        return min(1.0, min_tx / self.transactions)
+
+
+@dataclass(frozen=True)
+class CoalescingModel:
+    """Transaction counting bound to one GPU platform."""
+
+    platform: PlatformSpec
+
+    def __post_init__(self) -> None:
+        if not self.platform.is_gpu:
+            raise ValueError(
+                f"CoalescingModel requires a GPU platform, got {self.platform.name}"
+            )
+
+    def analyze(self, indices: np.ndarray, elem_bytes: int) -> CoalescingStats:
+        """Count transactions for a lane-indexed access pattern."""
+        p = self.platform
+        tx = count_transactions(indices, elem_bytes, p.warp_size, p.cache_line_bytes)
+        return CoalescingStats(
+            lanes=int(np.asarray(indices).size),
+            transactions=tx,
+            line_bytes=p.cache_line_bytes,
+        )
+
+    def transaction_time(self, transactions: int) -> float:
+        """Seconds for *transactions* line transactions at DRAM rate."""
+        if transactions < 0:
+            raise ValueError(f"transactions must be >= 0, got {transactions}")
+        nbytes = transactions * self.platform.cache_line_bytes
+        return nbytes / self.platform.stream_bw_bytes

@@ -1,0 +1,161 @@
+"""Host introspection: a PlatformSpec for the machine running this code.
+
+The Table-1 platforms are models of the paper's testbeds; this module
+builds the same description for *this* machine from ``/proc`` and
+``/sys``, plus a measured STREAM triad. That closes a validation loop
+the benches exploit: the performance model's *ordering* predictions
+(which sort wins, which pattern collapses) can be checked against
+real wall-clock numbers on real hardware — see
+``tests/test_host_validation.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro._util import MiB, check_positive
+from repro.machine.specs import ISA, MemoryKind, PlatformKind, PlatformSpec
+
+__all__ = ["detect_host", "measure_stream_triad", "host_platform"]
+
+
+def _read_int(path: str, default: int) -> int:
+    try:
+        return int(Path(path).read_text().strip())
+    except (OSError, ValueError):
+        return default
+
+
+def _cache_size_bytes(level_index: int, default: int) -> int:
+    """Parse /sys cache size like '512K' / '32768K'."""
+    path = Path(f"/sys/devices/system/cpu/cpu0/cache/index{level_index}/size")
+    try:
+        text = path.read_text().strip()
+    except OSError:
+        return default
+    mult = 1
+    if text.endswith("K"):
+        mult, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        mult, text = 1024 * 1024, text[:-1]
+    try:
+        return int(text) * mult
+    except ValueError:
+        return default
+
+
+def _total_memory_bytes(default: int = 8 << 30) -> int:
+    try:
+        for line in Path("/proc/meminfo").read_text().splitlines():
+            if line.startswith("MemTotal:"):
+                return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return default
+
+
+def _detect_isas() -> tuple[ISA, ...]:
+    try:
+        cpuinfo = Path("/proc/cpuinfo").read_text()
+    except OSError:
+        return (ISA.SSE,)
+    flags_line = ""
+    for line in cpuinfo.splitlines():
+        if line.startswith(("flags", "Features")):
+            flags_line = line
+            break
+    flags = set(flags_line.split())
+    isas: list[ISA] = []
+    if "sse2" in flags:
+        isas.append(ISA.SSE)
+    if "avx" in flags:
+        isas.append(ISA.AVX)
+    if "avx2" in flags:
+        isas.append(ISA.AVX2)
+    if "avx512f" in flags:
+        isas.append(ISA.AVX512)
+    if "asimd" in flags or "neon" in flags:
+        isas.append(ISA.NEON)
+    return tuple(isas) or (ISA.SSE,)
+
+
+def measure_stream_triad(n: int = 20_000_000, repeats: int = 3) -> float:
+    """Measured triad bandwidth (GB/s) of this host via numpy.
+
+    ``a = b + s*c`` over arrays too large for cache; best of
+    *repeats*. numpy's triad is a fair proxy for compiled STREAM on
+    the memory side (it is bandwidth-bound at these sizes).
+    """
+    check_positive("n", n)
+    check_positive("repeats", repeats)
+    b = np.random.default_rng(0).random(n)
+    c = np.random.default_rng(1).random(n)
+    a = np.empty_like(b)
+    s = 3.0
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.multiply(c, s, out=a)
+        a += b
+        best = min(best, time.perf_counter() - t0)
+    nbytes = 3 * n * 8
+    return nbytes / best / 1e9
+
+
+def detect_host(measure_bandwidth: bool = False) -> PlatformSpec:
+    """Build a PlatformSpec for this machine.
+
+    With ``measure_bandwidth`` the STREAM figure is measured (takes
+    ~1 s); otherwise a conservative per-core estimate is used.
+    """
+    cores = os.cpu_count() or 1
+    llc = _cache_size_bytes(3, default=0)
+    if llc == 0:
+        llc = _cache_size_bytes(2, default=8 * MiB)
+    # Total LLC across the chip: /sys reports the per-complex slice;
+    # scale by a conservative share of cores per slice.
+    llc_total = max(llc, llc * max(1, cores // 8))
+    khz = _read_int(
+        "/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq", 0)
+    clock_ghz = khz / 1e6 if khz else 2.5
+    if measure_bandwidth:
+        bw = measure_stream_triad()
+    else:
+        bw = 4.0 * cores          # ~4 GB/s/core, conservative
+    isas = _detect_isas()
+    widest = 16 if ISA.AVX512 in isas else (8 if ISA.AVX2 in isas else 4)
+    peak = cores * clock_ghz * widest * 2 * 2   # 2 FMA pipes
+    return PlatformSpec(
+        name="host",
+        kind=PlatformKind.CPU,
+        vendor="host",
+        core_count=cores,
+        main_memory_bytes=_total_memory_bytes(),
+        memory_kind=MemoryKind.DDR4,
+        llc_bytes=llc_total,
+        stream_bw_gbs=max(bw, 1.0),
+        peak_fp32_gflops=max(peak, 1.0),
+        clock_ghz=clock_ghz,
+        mem_latency_ns=100.0,
+        compiler_isas=isas,
+        kokkos_simd_isas=tuple(i for i in isas
+                               if i in (ISA.AVX2, ISA.AVX512, ISA.NEON)),
+        adhoc_isas=tuple(i for i in isas
+                         if i in (ISA.AVX, ISA.AVX2, ISA.NEON)),
+        notes="auto-detected host platform",
+    )
+
+
+_host_cache: PlatformSpec | None = None
+
+
+def host_platform(measure_bandwidth: bool = False) -> PlatformSpec:
+    """Cached :func:`detect_host` result."""
+    global _host_cache
+    if _host_cache is None:
+        _host_cache = detect_host(measure_bandwidth)
+    return _host_cache

@@ -1,0 +1,37 @@
+"""In-process message-passing substrate.
+
+VPIC's distribution layer is MPI: non-blocking point-to-point with up
+to six neighbors plus a handful of collectives (§2.1). This package
+provides a working in-process equivalent with the mpi4py API shape —
+:class:`~repro.mpi.comm.World` owns N simulated ranks whose
+:class:`~repro.mpi.comm.Communicator` endpoints exchange real numpy
+buffers — plus:
+
+- :mod:`repro.mpi.decomposition` — 3-D Cartesian domain decomposition
+  with periodic 6-neighbor topology (``MPI_Dims_create`` analogue);
+- :mod:`repro.mpi.halo` — ghost-layer exchange for field arrays;
+- :mod:`repro.mpi.particle_exchange` — particle migration between
+  neighbouring ranks;
+- :mod:`repro.mpi.costmodel` — a latency/bandwidth model that turns
+  the recorded message counts and sizes into communication time on a
+  given interconnect (what the Figure 10 scaling study consumes).
+
+Execution model: ranks run *phase-synchronously* — a driver executes
+each rank's work for a phase, sends buffer into mailboxes, and
+receives drain them. This matches the BSP structure of a PIC step
+(compute, exchange, repeat) without needing real concurrency.
+"""
+
+from repro.mpi.comm import World, Communicator, Request, MessageLog
+from repro.mpi.decomposition import CartDecomposition, balanced_dims
+from repro.mpi.halo import exchange_ghost_cells, reduce_ghost_sums
+from repro.mpi.particle_exchange import migrate_particles
+from repro.mpi.costmodel import LinkSpec, CommCostModel, INTERCONNECTS
+
+__all__ = [
+    "World", "Communicator", "Request", "MessageLog",
+    "CartDecomposition", "balanced_dims",
+    "exchange_ghost_cells", "reduce_ghost_sums",
+    "migrate_particles",
+    "LinkSpec", "CommCostModel", "INTERCONNECTS",
+]

@@ -1,0 +1,251 @@
+"""The simulated MPI world: ranks, point-to-point, collectives.
+
+:class:`World` holds the mailboxes; each rank's
+:class:`Communicator` exposes the familiar surface:
+
+- ``send/recv`` and ``isend/irecv`` + ``Request.wait`` for buffers
+  (numpy arrays are copied on send, like an eager-protocol MPI);
+- ``allreduce``, ``bcast``, ``gather``, ``allgather``, ``barrier``
+  as *phase collectives*: each rank deposits its contribution, and
+  results become available once every rank has contributed —
+  matching the BSP phase structure the drivers use.
+
+Every message is recorded in a :class:`MessageLog`; the cost model
+prices the log afterwards, so communication *time* is a pure function
+of what actually moved.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro._util import check_positive
+
+__all__ = ["World", "Communicator", "Request", "MessageLog", "SentMessage"]
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """Log row: one point-to-point message."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class MessageLog:
+    """Counts and sizes of everything the world has sent."""
+
+    messages: list[SentMessage] = field(default_factory=list)
+
+    def record(self, source: int, dest: int, tag: int, nbytes: int) -> None:
+        self.messages.append(SentMessage(source, dest, tag, nbytes))
+
+    @property
+    def count(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    def per_rank_bytes(self, n_ranks: int) -> np.ndarray:
+        out = np.zeros(n_ranks, dtype=np.int64)
+        for m in self.messages:
+            out[m.source] += m.nbytes
+        return out
+
+    def clear(self) -> None:
+        self.messages.clear()
+
+
+def _payload_bytes(payload: Any) -> int:
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (list, tuple)):
+        return sum(_payload_bytes(p) for p in payload)
+    if isinstance(payload, dict):
+        return sum(_payload_bytes(v) for v in payload.values())
+    return 64  # nominal pickled-scalar cost
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, resolve: Callable[[], Any]):
+        self._resolve = resolve
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> bool:
+        """True when the operation can complete now."""
+        if self._done:
+            return True
+        try:
+            self._value = self._resolve()
+        except KeyError:
+            return False
+        self._done = True
+        return True
+
+    def wait(self) -> Any:
+        """Complete the operation; raises if the peer never sent."""
+        if not self.test():
+            raise RuntimeError(
+                "wait() on a request whose matching message was never "
+                "sent — phase ordering bug in the driver"
+            )
+        return self._value
+
+
+class World:
+    """N simulated ranks sharing mailboxes and a message log."""
+
+    def __init__(self, size: int):
+        check_positive("size", size)
+        self.size = size
+        self.log = MessageLog()
+        # mailbox[(dest, source, tag)] -> deque of payloads
+        self._mail: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self._collective: dict[tuple[str, int], dict[int, Any]] = {}
+        self._comms = [Communicator(self, r) for r in range(size)]
+
+    def comm(self, rank: int) -> "Communicator":
+        return self._comms[rank]
+
+    def comms(self) -> list["Communicator"]:
+        return list(self._comms)
+
+    # -- internals used by Communicator ------------------------------------------
+
+    def _post(self, source: int, dest: int, tag: int, payload: Any) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range for world {self.size}")
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        self._mail[(dest, source, tag)].append(payload)
+        self.log.record(source, dest, tag, _payload_bytes(payload))
+
+    def _take(self, dest: int, source: int, tag: int) -> Any:
+        box = self._mail.get((dest, source, tag))
+        if not box:
+            raise KeyError((dest, source, tag))
+        return box.popleft()
+
+    def _contribute(self, op: str, phase: int, rank: int, value: Any) -> None:
+        self._collective.setdefault((op, phase), {})[rank] = value
+
+    def _collect(self, op: str, phase: int) -> dict[int, Any]:
+        got = self._collective.get((op, phase), {})
+        if len(got) < self.size:
+            raise KeyError(f"collective {op}@{phase} incomplete: "
+                           f"{len(got)}/{self.size}")
+        return got
+
+    # -- driver helpers ---------------------------------------------------------------
+
+    def run_phase(self, fn: Callable[["Communicator"], Any]) -> list[Any]:
+        """Run ``fn(comm)`` on every rank in order; returns results.
+
+        The standard BSP driver: ranks may isend inside *fn*; a
+        subsequent phase can irecv/wait everything posted here.
+        """
+        return [fn(self.comm(r)) for r in range(self.size)]
+
+
+class Communicator:
+    """One rank's endpoint (mpi4py-flavoured surface)."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self._phase = 0
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.world.size
+
+    # -- point to point -----------------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        self.world._post(self.rank, dest, tag, payload)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Request:
+        # Eager protocol: buffered immediately; the request is already
+        # complete (matching small-message MPI behaviour).
+        self.world._post(self.rank, dest, tag, payload)
+        return Request(lambda: None)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        try:
+            return self.world._take(self.rank, source, tag)
+        except KeyError:
+            raise RuntimeError(
+                f"rank {self.rank} recv(source={source}, tag={tag}): "
+                "no matching message — phase ordering bug"
+            ) from None
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        return Request(lambda: self.world._take(self.rank, source, tag))
+
+    # -- phase collectives ------------------------------------------------------------
+
+    def _next_phase(self) -> int:
+        self._phase += 1
+        return self._phase
+
+    def allreduce_contribute(self, value, op: str = "sum",
+                             phase: int | None = None) -> None:
+        """Deposit this rank's contribution for an allreduce phase."""
+        ph = phase if phase is not None else self._phase + 1
+        self.world._contribute(f"allreduce-{op}", ph, self.rank, value)
+
+    def allreduce_result(self, op: str = "sum",
+                         phase: int | None = None):
+        """Fetch the allreduce result once all ranks contributed."""
+        ph = phase if phase is not None else self._phase + 1
+        got = self.world._collect(f"allreduce-{op}", ph)
+        values = [got[r] for r in range(self.size)]
+        if op == "sum":
+            result = values[0]
+            for v in values[1:]:
+                result = result + v
+            return result
+        if op == "max":
+            return max(values)
+        if op == "min":
+            return min(values)
+        raise ValueError(f"unknown allreduce op {op!r}")
+
+
+def allreduce(world: World, values: list, op: str = "sum"):
+    """World-level convenience allreduce over per-rank values."""
+    if len(values) != world.size:
+        raise ValueError(f"need {world.size} values, got {len(values)}")
+    phase = id(values) & 0x7FFFFFFF
+    for r, v in enumerate(values):
+        world._contribute(f"allreduce-{op}", phase, r, v)
+    got = world._collect(f"allreduce-{op}", phase)
+    vals = [got[r] for r in range(world.size)]
+    if op == "sum":
+        out = vals[0]
+        for v in vals[1:]:
+            out = out + v
+        return out
+    if op == "max":
+        return max(vals)
+    if op == "min":
+        return min(vals)
+    raise ValueError(f"unknown allreduce op {op!r}")

@@ -1,0 +1,106 @@
+"""Communication cost model: pricing a message log on an interconnect.
+
+The Figure 10 scaling study needs communication *time*, not just
+working exchanges. The classic alpha-beta model prices each message
+``t = latency + bytes / bandwidth``; links differ between intra-node
+(NVLink / Infinity Fabric) and inter-node (InfiniBand / Slingshot),
+and VPIC 2.0 as evaluated stages GPU buffers through the host (the
+paper notes GPU-aware MPI as future work), which the staging factor
+captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_nonnegative, check_positive
+from repro.mpi.comm import MessageLog
+
+__all__ = ["LinkSpec", "CommCostModel", "INTERCONNECTS"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One link class: latency (s) + bandwidth (bytes/s)."""
+
+    name: str
+    latency_s: float
+    bandwidth_bytes: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("latency_s", self.latency_s)
+        check_positive("bandwidth_bytes", self.bandwidth_bytes)
+
+    def message_time(self, nbytes: float) -> float:
+        return self.latency_s + nbytes / self.bandwidth_bytes
+
+
+#: Interconnect catalogue for the evaluation systems.
+INTERCONNECTS: dict[str, LinkSpec] = {
+    # Intra-node GPU links.
+    "nvlink2": LinkSpec("nvlink2", 2.0e-6, 50e9),      # Sierra V100
+    "nvlink3": LinkSpec("nvlink3", 1.8e-6, 300e9),     # Selene A100
+    "infinity_fabric": LinkSpec("infinity_fabric", 1.8e-6, 128e9),  # MI300A
+    # Inter-node fabrics.
+    "ib_edr": LinkSpec("ib_edr", 3.0e-6, 12.5e9),      # Sierra EDR IB
+    "ib_hdr8": LinkSpec("ib_hdr8", 2.5e-6, 8 * 25e9),  # Selene 8x HDR rails
+    "slingshot11": LinkSpec("slingshot11", 2.2e-6, 4 * 25e9),  # Tuolumne
+}
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Prices per-step exchanges for one machine configuration.
+
+    ``gpus_per_node`` decides which messages ride the intra-node
+    link; ``staging_factor`` multiplies effective message cost to
+    model host-staged (non-GPU-aware) MPI — the overhead the paper
+    calls out as a superlinear-scaling limiter (§5.5).
+    """
+
+    intra_node: LinkSpec
+    inter_node: LinkSpec
+    gpus_per_node: int
+    staging_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("gpus_per_node", self.gpus_per_node)
+        check_positive("staging_factor", self.staging_factor)
+
+    def neighbor_link(self, rank_a: int, rank_b: int) -> LinkSpec:
+        """Link class between two ranks (one GPU per rank)."""
+        same_node = (rank_a // self.gpus_per_node
+                     == rank_b // self.gpus_per_node)
+        return self.intra_node if same_node else self.inter_node
+
+    def exchange_time(self, nbytes_per_message: float, n_messages: int,
+                      fraction_internode: float) -> float:
+        """Time for one rank's halo exchange of *n_messages* messages.
+
+        Messages to intra-node and inter-node neighbors proceed
+        concurrently per class; the rank's exchange completes at the
+        slower class (non-blocking sends overlap within a class up to
+        the link's serialization on bytes).
+        """
+        check_nonnegative("nbytes_per_message", nbytes_per_message)
+        if not 0.0 <= fraction_internode <= 1.0:
+            raise ValueError(
+                f"fraction_internode must be in [0,1], got {fraction_internode}")
+        n_inter = n_messages * fraction_internode
+        n_intra = n_messages - n_inter
+        t_intra = (n_intra * self.intra_node.latency_s
+                   + n_intra * nbytes_per_message
+                   / self.intra_node.bandwidth_bytes)
+        t_inter = (n_inter * self.inter_node.latency_s
+                   + n_inter * nbytes_per_message
+                   / self.inter_node.bandwidth_bytes)
+        return self.staging_factor * max(t_intra, t_inter)
+
+    def price_log(self, log: MessageLog, n_ranks: int) -> float:
+        """Price a recorded message log: per-rank serialized cost,
+        machine time = max over ranks (BSP step)."""
+        per_rank = [0.0] * n_ranks
+        for m in log.messages:
+            link = self.neighbor_link(m.source, m.dest)
+            per_rank[m.source] += self.staging_factor * link.message_time(m.nbytes)
+        return max(per_rank) if per_rank else 0.0

@@ -1,0 +1,177 @@
+"""Distributed PIC runs: one deck, many ranks, real exchanges.
+
+This driver runs a deck decomposed across a simulated MPI world: each
+rank owns a brick of the global grid with its own
+:class:`~repro.vpic.simulation.Simulation`-style state, and each step
+performs the halo exchanges and particle migration a real VPIC run
+does. It exists to exercise the full distributed pipeline (the tests
+compare conserved quantities against single-rank runs) and to let the
+cost model price *measured* message logs rather than estimates.
+
+The step keeps VPIC's ordering: local field half-advance, push,
+particle migration, ghost-current reduction, field completion, and
+E/B ghost refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpi.comm import World
+from repro.mpi.decomposition import CartDecomposition
+from repro.mpi.halo import exchange_ghost_cells, reduce_ghost_sums
+from repro.mpi.particle_exchange import migrate_particles
+from repro.vpic.boris import advance_positions, boris_push
+from repro.vpic.deck import Deck
+from repro.vpic.deposit import deposit_current
+from repro.vpic.fields import FieldArrays, FieldSolver
+from repro.vpic.grid import Grid
+from repro.vpic.interpolate import gather_fields
+from repro.vpic.particles import load_maxwellian, load_uniform
+from repro.vpic.species import Species
+
+__all__ = ["DistributedSimulation", "RankState"]
+
+_E_NAMES = ("ex", "ey", "ez")
+_B_NAMES = ("bx", "by", "bz")
+_J_NAMES = ("jx", "jy", "jz")
+
+
+@dataclass
+class RankState:
+    """One rank's local grid, fields, and species."""
+
+    rank: int
+    grid: Grid
+    fields: FieldArrays
+    solver: FieldSolver
+    species: list[Species]
+
+
+class DistributedSimulation:
+    """A deck decomposed over a simulated MPI world."""
+
+    def __init__(self, deck: Deck, n_ranks: int):
+        if deck.field_init is not None or deck.perturbation is not None:
+            raise ValueError(
+                "distributed driver supports plain decks (no field_init/"
+                "perturbation callables, which assume a global grid)")
+        self.deck = deck
+        self.world = World(n_ranks)
+        self.decomp = CartDecomposition.create(
+            deck.nx, deck.ny, deck.nz, n_ranks)
+        self.cell = (deck.dx, deck.dy, deck.dz)
+        lx, ly, lz = self.decomp.local_shape
+        # A shared timestep: all bricks have identical cells.
+        ref_grid = Grid(lx, ly, lz, deck.dx, deck.dy, deck.dz, dt=deck.dt)
+        self.dt = ref_grid.dt
+        self.ranks: list[RankState] = []
+        for r in range(n_ranks):
+            ox, oy, oz = self.decomp.local_origin(r, *self.cell)
+            grid = Grid(lx, ly, lz, deck.dx, deck.dy, deck.dz,
+                        x0=ox, y0=oy, z0=oz, dt=self.dt)
+            fields = FieldArrays(grid)
+            species = []
+            for i, cfg in enumerate(deck.species):
+                sp = Species(cfg.name, cfg.q, cfg.m, grid,
+                             capacity=max(1024, 2 * cfg.ppc * grid.n_cells))
+                if cfg.uth > 0 or any(cfg.drift):
+                    load_maxwellian(sp, cfg.ppc, cfg.uth, cfg.drift,
+                                    cfg.weight,
+                                    seed=deck.seed + i * 7919 + r)
+                else:
+                    load_uniform(sp, cfg.ppc, cfg.weight,
+                                 seed=deck.seed + i * 7919 + r)
+                species.append(sp)
+            self.ranks.append(RankState(
+                r, grid, fields,
+                FieldSolver(fields, external_ghosts=True), species))
+        self.step_count = 0
+
+    # -- collective views ----------------------------------------------------
+
+    @property
+    def n_ranks(self) -> int:
+        return self.world.size
+
+    def total_particles(self) -> int:
+        return sum(sp.n for rs in self.ranks for sp in rs.species)
+
+    def total_kinetic_energy(self) -> float:
+        return sum(sp.kinetic_energy()
+                   for rs in self.ranks for sp in rs.species)
+
+    def total_field_energy(self) -> tuple[float, float]:
+        e = b = 0.0
+        for rs in self.ranks:
+            ei, bi = rs.fields.field_energy()
+            e += ei
+            b += bi
+        return e, b
+
+    def total_momentum(self) -> np.ndarray:
+        return sum((sp.momentum_total()
+                    for rs in self.ranks for sp in rs.species),
+                   start=np.zeros(3))
+
+    # -- exchanges -----------------------------------------------------------------
+
+    def _component_arrays(self, names) -> list[list[np.ndarray]]:
+        return [[getattr(rs.fields, n).data for rs in self.ranks]
+                for n in names]
+
+    def _exchange_fields(self, names) -> None:
+        for arrays in self._component_arrays(names):
+            exchange_ghost_cells(self.world, self.decomp, arrays)
+
+    def _reduce_currents(self) -> None:
+        for arrays in self._component_arrays(_J_NAMES):
+            reduce_ghost_sums(self.world, self.decomp, arrays)
+
+    def _migrate(self) -> int:
+        moved = 0
+        for si in range(len(self.deck.species)):
+            per_rank = [rs.species[si] for rs in self.ranks]
+            moved += migrate_particles(self.world, self.decomp, per_rank,
+                                       self.cell)
+        # Positions moved between ranks; voxels are rank-local.
+        for rs in self.ranks:
+            for sp in rs.species:
+                sp.update_voxels()
+        return moved
+
+    # -- the distributed step ----------------------------------------------------------
+
+    def step(self) -> None:
+        """One full distributed timestep (VPIC ordering)."""
+        self._exchange_fields(_E_NAMES + _B_NAMES)
+        for rs in self.ranks:
+            rs.solver.advance_b(0.5)
+            rs.fields.clear_currents()
+        self._exchange_fields(_B_NAMES)
+        for rs in self.ranks:
+            for sp in rs.species:
+                if sp.n == 0:
+                    continue
+                x, y, z = sp.positions()
+                ux, uy, uz = sp.momenta()
+                ex, ey, ez, bx, by, bz = gather_fields(rs.fields, x, y, z)
+                boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
+                           sp.q, sp.m, self.dt)
+                deposit_current(rs.fields, x, y, z, ux, uy, uz,
+                                sp.live("w"), sp.q)
+                advance_positions(x, y, z, ux, uy, uz, self.dt)
+        self._migrate()
+        self._reduce_currents()
+        for rs in self.ranks:
+            rs.solver.advance_b(0.5)
+        self._exchange_fields(_E_NAMES)
+        for rs in self.ranks:
+            rs.solver.advance_e(1.0)
+        self.step_count += 1
+
+    def run(self, num_steps: int) -> None:
+        for _ in range(num_steps):
+            self.step()

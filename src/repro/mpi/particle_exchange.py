@@ -1,0 +1,94 @@
+"""Particle migration between neighbouring ranks.
+
+After the position advance, particles that left a rank's local box
+are packed per destination face, sent to the six neighbors, and
+appended on arrival (with positions wrapped into the global periodic
+box). Multi-face crossings (corner moves) resolve over successive
+steps exactly as VPIC's mover does — a particle travels at most one
+cell per step under the Courant limit, so one face per step suffices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.comm import World
+from repro.mpi.decomposition import CartDecomposition
+from repro.vpic.species import Species
+
+__all__ = ["migrate_particles"]
+
+_ATTRS = ("x", "y", "z", "ux", "uy", "uz", "w", "tag")
+
+
+def _local_bounds(decomp: CartDecomposition, rank: int,
+                  cell: tuple[float, float, float]):
+    ox, oy, oz = decomp.local_origin(rank, *cell)
+    lx, ly, lz = decomp.local_shape
+    return ((ox, ox + lx * cell[0]),
+            (oy, oy + ly * cell[1]),
+            (oz, oz + lz * cell[2]))
+
+
+def migrate_particles(world: World, decomp: CartDecomposition,
+                      species_per_rank: list[Species],
+                      cell: tuple[float, float, float] = (1.0, 1.0, 1.0),
+                      tag_base: int = 300) -> int:
+    """Move strayed particles to their owning neighbor ranks.
+
+    ``species_per_rank[r]`` is rank r's local species (same physical
+    species across ranks). Returns the number of migrated particles.
+    Positions are kept in *global* coordinates; each rank's local box
+    is derived from the decomposition. Global periodic wrapping is
+    applied on arrival.
+    """
+    if len(species_per_rank) != world.size:
+        raise ValueError(
+            f"need {world.size} species, got {len(species_per_rank)}")
+    glob = (decomp.global_nx * cell[0],
+            decomp.global_ny * cell[1],
+            decomp.global_nz * cell[2])
+    migrated = 0
+
+    # Phase 1: pack and send per face.
+    for rank in range(world.size):
+        sp = species_per_rank[rank]
+        comm = world.comm(rank)
+        nbrs = decomp.neighbors(rank)
+        (x0, x1), (y0, y1), (z0, z1) = _local_bounds(decomp, rank, cell)
+        x, y, z = sp.positions()
+        # One face per step (Courant): pick the dominant violation.
+        face = np.full(sp.n, -1, dtype=np.int8)
+        face[x < x0] = 0
+        face[x >= x1] = 1
+        face[(face < 0) & (y < y0)] = 2
+        face[(face < 0) & (y >= y1)] = 3
+        face[(face < 0) & (z < z0)] = 4
+        face[(face < 0) & (z >= z1)] = 5
+        leaving_all = np.nonzero(face >= 0)[0]
+        for f in range(6):
+            idx = leaving_all[face[leaving_all] == f]
+            payload = {name: sp.live(name)[idx].copy() for name in _ATTRS}
+            comm.isend(payload, nbrs[f], tag=tag_base + f)
+        if leaving_all.size:
+            sp.remove(leaving_all)
+            migrated += int(leaving_all.size)
+
+    # Phase 2: receive, wrap globally, append.
+    for rank in range(world.size):
+        sp = species_per_rank[rank]
+        comm = world.comm(rank)
+        nbrs = decomp.neighbors(rank)
+        for f in range(6):
+            payload = comm.recv(nbrs[f], tag=tag_base + (f ^ 1))
+            if payload["x"].size == 0:
+                continue
+            px = np.mod(payload["x"], np.float32(glob[0]))
+            py = np.mod(payload["y"], np.float32(glob[1]))
+            pz = np.mod(payload["z"], np.float32(glob[2]))
+            before = sp.n
+            sp.append(px, py, pz, payload["ux"], payload["uy"],
+                      payload["uz"], payload["w"])
+            # append() clears tags; restore tracer identities.
+            sp.tag[before:sp.n] = payload["tag"]
+    return migrated

@@ -1,0 +1,47 @@
+"""Mechanistic performance model.
+
+The paper's figures are hardware measurements; this package is the
+substitute (DESIGN.md §2): it predicts kernel runtimes from
+
+1. **real access traces** — the index arrays the actual sorting
+   algorithms and PIC kernels produce (:mod:`repro.perfmodel.trace`);
+2. **platform parameters** — Table 1 specs (:mod:`repro.machine`);
+3. **mechanisms** — cache locality (set-sampled LRU / reuse
+   distance), warp coalescing transaction counts, atomic-contention
+   serialization, and vectorization efficiency
+   (:mod:`repro.perfmodel.vector_efficiency`).
+
+Entry point: :func:`repro.perfmodel.predict.predict_time`, returning a
+:class:`~repro.perfmodel.predict.Prediction` with a component
+breakdown (compute / streamed / gather / scatter / atomic) from which
+the benches derive the paper's metrics — effective bandwidth,
+GFLOP/s, and arithmetic intensity.
+"""
+
+from repro.perfmodel.trace import AccessTrace, gather_scatter_trace
+from repro.perfmodel.kernel_cost import (
+    KernelCost,
+    push_kernel_cost,
+    gather_scatter_cost,
+    stencil_cost,
+    axpy_cost,
+    planckian_cost,
+    pi_reduce_cost,
+)
+from repro.perfmodel.vector_efficiency import (
+    compute_time_cpu,
+    compute_time_gpu,
+    effective_lane_speedup,
+)
+from repro.perfmodel.cpu_model import CpuKernelModel
+from repro.perfmodel.gpu_model import GpuKernelModel
+from repro.perfmodel.predict import Prediction, predict_time, model_for
+
+__all__ = [
+    "AccessTrace", "gather_scatter_trace",
+    "KernelCost", "push_kernel_cost", "gather_scatter_cost", "stencil_cost",
+    "axpy_cost", "planckian_cost", "pi_reduce_cost",
+    "compute_time_cpu", "compute_time_gpu", "effective_lane_speedup",
+    "CpuKernelModel", "GpuKernelModel",
+    "Prediction", "predict_time", "model_for",
+]

@@ -1,0 +1,104 @@
+"""Trace collection from live simulations: what-if analysis.
+
+The figure benches build traces by hand; this module closes the gap
+for users: point it at a running :class:`~repro.vpic.simulation.
+Simulation` and it captures the push kernel's actual access pattern
+(this step's voxel keys under the active sorting policy), then prices
+the same step on any Table-1 platform — "how would this exact run
+behave on an H100 vs an MI250?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.push_bench import (ACCUMULATOR_BYTES, DEPOSIT_OPS,
+                                    FULL_BENCH_CELLS, INTERPOLATOR_BYTES,
+                                    PARTICLE_STREAM_BYTES)
+from repro.machine.specs import PlatformSpec
+from repro.perfmodel.kernel_cost import push_kernel_cost
+from repro.perfmodel.predict import Prediction, predict_time
+from repro.perfmodel.trace import AccessTrace
+from repro.simd.autovec import Strategy
+from repro.vpic.simulation import Simulation
+
+__all__ = ["capture_push_trace", "WhatIfReport", "what_if"]
+
+
+def capture_push_trace(sim: Simulation, species_name: str | None = None,
+                       atomic: bool | None = None) -> AccessTrace:
+    """Capture the current push access trace from a live simulation.
+
+    *species_name* defaults to the largest species. *atomic* defaults
+    to True (GPU-style deposition); pass False to model VPIC's
+    thread-owned CPU deposition.
+    """
+    if not sim.species:
+        raise ValueError("simulation has no species")
+    if species_name is None:
+        sp = max(sim.species, key=lambda s: s.n)
+    else:
+        sp = sim.get_species(species_name)
+    if sp.n == 0:
+        raise ValueError(f"species {sp.name!r} holds no particles")
+    keys = sp.live("voxel").copy()
+    occupied = int(np.unique(keys).size)
+    is_atomic = True if atomic is None else atomic
+    return AccessTrace(
+        n_ops=sp.n,
+        streamed_bytes=float(sp.n) * PARTICLE_STREAM_BYTES,
+        gather_indices=keys,
+        gather_elem_bytes=INTERPOLATOR_BYTES,
+        gather_table_entries=sim.grid.n_voxels,
+        scatter_indices=keys,
+        scatter_elem_bytes=ACCUMULATOR_BYTES,
+        scatter_table_entries=sim.grid.n_voxels,
+        scatter_is_atomic=is_atomic,
+        scatter_ops_per_element=DEPOSIT_OPS if is_atomic else 1,
+        cache_scale=occupied / FULL_BENCH_CELLS,
+        label=f"push/{sp.name}@step{sim.step_count}",
+    )
+
+
+@dataclass
+class WhatIfReport:
+    """Cross-platform projection of one simulation's push step."""
+
+    trace: AccessTrace
+    predictions: dict[str, Prediction]
+
+    def ranked(self) -> list[tuple[str, Prediction]]:
+        """Platforms fastest-first."""
+        return sorted(self.predictions.items(),
+                      key=lambda kv: kv[1].seconds)
+
+    def summary(self) -> str:
+        lines = [f"what-if for {self.trace.label} "
+                 f"({self.trace.n_ops} particles):"]
+        for name, pred in self.ranked():
+            lines.append(
+                f"  {name:16s} {pred.seconds * 1e6:10.1f} us  "
+                f"{pred.gflops:8.1f} GFLOP/s")
+        return "\n".join(lines)
+
+
+def what_if(sim: Simulation, platforms: list[PlatformSpec],
+            strategy: Strategy = Strategy.GUIDED) -> WhatIfReport:
+    """Price this simulation's current push step on each platform.
+
+    CPUs are priced with non-atomic (thread-owned) deposition under
+    *strategy*; GPUs with atomic deposition under SIMT — the same
+    asymmetry the paper's evaluation uses.
+    """
+    if not platforms:
+        raise ValueError("no platforms given")
+    cost = push_kernel_cost()
+    cpu_trace = capture_push_trace(sim, atomic=False)
+    gpu_trace = capture_push_trace(sim, atomic=True)
+    predictions = {}
+    for p in platforms:
+        trace = gpu_trace if p.is_gpu else cpu_trace
+        predictions[p.name] = predict_time(p, trace, cost, strategy)
+    return WhatIfReport(trace=gpu_trace, predictions=predictions)

@@ -1,0 +1,202 @@
+"""CPU kernel timing: compute + cache-filtered memory + atomics.
+
+Composition (per kernel launch):
+
+- **compute** from :func:`~repro.perfmodel.vector_efficiency.compute_time_cpu`;
+- **streamed** traffic at the STREAM triad rate;
+- **gather/scatter** traffic filtered through a reuse-distance cache
+  model of the *per-thread* trace slice: Kokkos' OpenMP backend gives
+  each thread a contiguous chunk, so a thread's locality is the
+  locality of its slice, and the LLC is shared (each thread sees
+  ``LLC / threads`` of capacity);
+- **atomic serialization**: the repeated-keys study (Figure 5b) shows
+  CPU bandwidth collapsing by up to two orders of magnitude when the
+  same address is hammered repeatedly. The mechanism modelled here:
+  an atomic RMW whose address was updated within the last
+  ``ATOMIC_STALL_WINDOW`` operations cannot be pipelined — it drains
+  through the chip's serializing RMW path (``ATOMIC_CHIP_CONCURRENCY``
+  uncore slots, *not* one per core); uncontended atomics pipeline
+  per-core but still pay the full memory latency on a miss.
+
+Compute and memory partially overlap out-of-order execution, so the
+total is ``max(compute, memory) + 0.5 * min(compute, memory)`` plus
+the (non-overlappable) atomic serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.cache import reuse_previous_positions, stack_distance_hit_rate
+from repro.machine.memory import MemoryModel
+from repro.machine.specs import PlatformSpec
+from repro.perfmodel.kernel_cost import KernelCost
+from repro.perfmodel.trace import AccessTrace
+from repro.perfmodel.vector_efficiency import compute_time_cpu
+from repro.simd.autovec import Strategy
+
+__all__ = ["CpuKernelModel"]
+
+#: Fraction of LLC capacity effectively available to indexed working
+#: sets once streamed traffic pollutes it.
+_STREAM_POLLUTION = 0.5
+#: Per-thread LLC share never models below this many lines — small
+#: absolute working sets (the CPU tile of Algorithm 2) stay resident
+#: regardless of the simulation's cache_scale.
+_MIN_THREAD_LINES = 64
+#: Cap on trace slice length fed to the reuse-distance model.
+_MAX_SLICE = 400_000
+#: Same-address reuse inside this window stalls the RMW pipeline.
+#: (Smaller than the per-thread tile of Algorithm 2 on every CPU, so
+#: tiled ordering escapes the stall path by construction.)
+ATOMIC_STALL_WINDOW = 16
+#: Chip-wide concurrency of the serializing RMW path (stalled chains
+#: and random-miss RMWs drain here, not per-core).
+ATOMIC_CHIP_CONCURRENCY = 4.0
+#: Per-core pipelining factor for well-behaved atomics.
+ATOMIC_CORE_PIPELINE = 12.0
+
+
+def _sequential_fraction(indices: np.ndarray, elem_bytes: int,
+                         line_bytes: int) -> float:
+    """Fraction of accesses landing within one line of the previous
+    access — the prefetch-friendly share of the stream."""
+    if indices.size < 2:
+        return 1.0
+    step = np.abs(np.diff(indices)) * elem_bytes
+    return float(np.mean(step <= line_bytes))
+
+
+@dataclass
+class CpuKernelModel:
+    """Timing model bound to one CPU platform."""
+
+    platform: PlatformSpec
+
+    def __post_init__(self) -> None:
+        if self.platform.is_gpu:
+            raise ValueError(
+                f"CpuKernelModel needs a CPU platform, got {self.platform.name}")
+        self.memory = MemoryModel(self.platform)
+
+    # -- memory pieces -------------------------------------------------------
+
+    def _thread_slice(self, indices: np.ndarray) -> np.ndarray:
+        """One thread's contiguous chunk of the iteration space."""
+        n_threads = self.platform.core_count
+        chunk = max(1, indices.size // n_threads)
+        return indices[:min(chunk, _MAX_SLICE)]
+
+    def _per_thread_lines(self, cache_scale: float) -> int:
+        p = self.platform
+        lines = int(p.llc_bytes * p.llc_locality_fraction * _STREAM_POLLUTION
+                    * cache_scale / p.cache_line_bytes / p.core_count)
+        return max(lines, _MIN_THREAD_LINES)
+
+    def _indexed_time(self, indices: np.ndarray, elem_bytes: int,
+                      is_rmw: bool, cache_scale: float = 1.0
+                      ) -> tuple[float, float]:
+        """(seconds, hit_rate) for one indexed stream."""
+        p = self.platform
+        line = p.cache_line_bytes
+        slice_idx = self._thread_slice(indices)
+        lines = (slice_idx * elem_bytes) // line
+        hit = stack_distance_hit_rate(lines, self._per_thread_lines(cache_scale))
+        n = indices.size
+        misses = (1.0 - hit) * n
+        hits = hit * n
+        locality = _sequential_fraction(slice_idx, elem_bytes, line)
+        t_miss = self.memory.line_traffic_time(misses, locality)
+        # Hits are served from shared cache at LLC bandwidth at element
+        # granularity (no extra line refill).
+        t_hit = hits * elem_bytes / p.llc_bw_bytes
+        factor = 2.0 if is_rmw else 1.0
+        return factor * (t_miss + t_hit), hit
+
+    def _atomic_time(self, indices: np.ndarray, hit_rate: float,
+                     elem_bytes: int, n_total: int) -> tuple[float, float]:
+        """(seconds, contended_fraction) of RMW serialization.
+
+        Contention is detected on the per-thread slice (each thread
+        retires its chunk in program order). Three regimes:
+
+        - *contended* (same address re-updated within the stall
+          window): chains drain through the chip-serial RMW path —
+          the Figure 5b collapse;
+        - *uncontended random misses*: full memory-latency RMWs that
+          also cannot pipeline across the chip (strided ordering's
+          CPU weakness — "often underperforms standard", §5.4);
+        - *well-behaved* (cache-hit, or sequential first-touch):
+          pipeline per core at the atomic instruction cost.
+        """
+        p = self.platform
+        slice_idx = self._thread_slice(indices)
+        prev = reuse_previous_positions(slice_idx)
+        pos = np.arange(slice_idx.size, dtype=np.int64)
+        contended = (prev >= 0) & ((pos - prev) < ATOMIC_STALL_WINDOW)
+        frac = float(np.mean(contended)) if slice_idx.size else 0.0
+        seq = _sequential_fraction(slice_idx, elem_bytes, p.cache_line_bytes)
+
+        n_contended = frac * n_total
+        n_unc = n_total - n_contended
+        miss = 1.0 - hit_rate
+        n_unc_miss_rand = n_unc * miss * (1.0 - seq)
+        n_behaved = n_unc - n_unc_miss_rand
+
+        t_chip = ((n_contended * p.atomic_ns
+                   + n_unc_miss_rand * p.mem_latency_ns) * 1e-9
+                  / ATOMIC_CHIP_CONCURRENCY)
+        behaved_ns = hit_rate * p.atomic_ns + miss * p.mem_latency_ns
+        t_behaved = (n_behaved * behaved_ns * 1e-9
+                     / (p.core_count * ATOMIC_CORE_PIPELINE))
+        return t_chip + t_behaved, frac
+
+    # -- public API --------------------------------------------------------------
+
+    def predict(self, trace: AccessTrace, cost: KernelCost,
+                strategy: Strategy = Strategy.GUIDED) -> dict:
+        """Component breakdown (seconds) for one kernel launch.
+
+        Returns a dict with ``compute``, ``stream``, ``gather``,
+        ``scatter``, ``atomic``, ``total``, plus diagnostic hit rates.
+        """
+        p = self.platform
+        t_compute = compute_time_cpu(p, cost, strategy, trace.n_ops)
+        t_stream = self.memory.stream_time(trace.streamed_bytes)
+
+        t_gather = t_scatter = t_atomic = 0.0
+        gather_hit = scatter_hit = None
+        contended_fraction = 0.0
+        if trace.gather_indices is not None:
+            t_gather, gather_hit = self._indexed_time(
+                trace.gather_indices, trace.gather_elem_bytes, is_rmw=False,
+                cache_scale=trace.cache_scale)
+        if trace.scatter_indices is not None:
+            t_scatter, scatter_hit = self._indexed_time(
+                trace.scatter_indices, trace.scatter_elem_bytes,
+                is_rmw=trace.scatter_is_atomic,
+                cache_scale=trace.cache_scale)
+            if trace.scatter_is_atomic:
+                t_atomic, contended_fraction = self._atomic_time(
+                    trace.scatter_indices, scatter_hit,
+                    trace.scatter_elem_bytes,
+                    trace.scatter_indices.size
+                    * trace.scatter_ops_per_element)
+
+        t_mem = t_stream + t_gather + t_scatter
+        overlap = max(t_compute, t_mem) + 0.5 * min(t_compute, t_mem)
+        total = overlap + t_atomic
+        return {
+            "compute": t_compute,
+            "stream": t_stream,
+            "gather": t_gather,
+            "scatter": t_scatter,
+            "atomic": t_atomic,
+            "memory": t_mem,
+            "total": total,
+            "gather_hit_rate": gather_hit,
+            "scatter_hit_rate": scatter_hit,
+            "contended_fraction": contended_fraction,
+        }

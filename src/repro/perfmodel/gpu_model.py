@@ -1,0 +1,219 @@
+"""GPU kernel timing: coalescing + cache + atomics + SIMT compute.
+
+Composition (per kernel launch):
+
+- **compute** from :func:`~repro.perfmodel.vector_efficiency.compute_time_gpu`;
+- **streamed** traffic at the device STREAM rate;
+- **indexed** traffic counted in warp-level transactions by the
+  coalescing model; transactions are then filtered through a
+  reuse-distance model of the *transaction line trace* against the
+  effective LLC (``llc_bytes x llc_locality_fraction``), splitting
+  them into DRAM-rate misses and L2-rate hits, with a Little's-law
+  latency floor;
+- **atomic serialization**: slots beyond one per warp are pure excess
+  (the first slot's traffic is already in the scatter transactions)
+  and serialize at the platform's same-address RMW interval.
+
+GPUs overlap compute and memory aggressively, so the total is
+``max(compute, memory, atomic-excess)`` plus a small non-overlapped
+remainder of the runner-up term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.cache import stack_distance_hit_rate
+from repro.machine.memory import MemoryModel
+from repro.machine.specs import PlatformSpec
+from repro.perfmodel.kernel_cost import KernelCost
+from repro.perfmodel.trace import AccessTrace
+from repro.perfmodel.vector_efficiency import compute_time_gpu
+
+__all__ = ["GpuKernelModel", "warp_transaction_lines"]
+
+#: Fraction of effective LLC available to indexed working sets under
+#: streaming pollution.
+_STREAM_POLLUTION = 0.5
+#: Cap on the transaction trace fed to the reuse-distance model.
+_MAX_TRACE = 600_000
+
+
+def warp_transaction_lines(indices: np.ndarray, elem_bytes: int,
+                           warp_size: int, line_bytes: int,
+                           passes: int = 0,
+                           pass_stride: int = 0) -> np.ndarray:
+    """The per-warp deduplicated cache-line trace of a SIMT access.
+
+    Each lane reads/writes an *elem_bytes* record at ``index *
+    elem_bytes``; the kernel issues it as *passes* consecutive
+    instructions, lane address offset by ``k * pass_stride`` on pass
+    k. By default an access wider than a line becomes
+    ``ceil(elem/line)`` line-strided passes (a multi-load of a 72-byte
+    interpolator record); the deposit scatter instead issues one pass
+    per 4-byte accumulator component.
+
+    The result is the distinct lines touched per (warp, pass), in
+    execution order — one entry per memory transaction, which is both
+    the traffic count and the trace whose reuse distances determine
+    L2 behaviour (later passes of a warp revisiting the same lines
+    appear as short-distance reuses and hit).
+    """
+    indices = np.asarray(indices, dtype=np.int64).ravel()
+    n = indices.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if passes <= 0:
+        passes = max(1, -(-elem_bytes // line_bytes))
+        pass_stride = line_bytes
+    base = indices * elem_bytes
+    pad = (-n) % warp_size
+    if pad:
+        base = np.concatenate([base, np.full(pad, base[-1])])
+    n_warps = base.size // warp_size
+    # addr[warp, pass, lane]
+    addr = (base.reshape(n_warps, 1, warp_size)
+            + (np.arange(passes, dtype=np.int64) * pass_stride)[None, :, None])
+    lines = addr // line_bytes
+    rows = np.sort(lines.reshape(n_warps * passes, warp_size), axis=1)
+    keep = np.ones(rows.shape, dtype=bool)
+    keep[:, 1:] = rows[:, 1:] != rows[:, :-1]
+    return rows[keep]
+
+
+@dataclass
+class GpuKernelModel:
+    """Timing model bound to one GPU platform."""
+
+    platform: PlatformSpec
+
+    def __post_init__(self) -> None:
+        if not self.platform.is_gpu:
+            raise ValueError(
+                f"GpuKernelModel needs a GPU platform, got {self.platform.name}")
+        self.memory = MemoryModel(self.platform)
+
+    # -- pieces -----------------------------------------------------------------
+
+    def _effective_llc_lines(self, cache_scale: float = 1.0) -> int:
+        p = self.platform
+        return max(64, int(p.llc_bytes * p.llc_locality_fraction
+                           * _STREAM_POLLUTION * cache_scale
+                           / p.cache_line_bytes))
+
+    def _indexed_time(self, indices: np.ndarray, elem_bytes: int,
+                      is_rmw: bool, cache_scale: float = 1.0,
+                      passes: int = 0, pass_stride: int = 0
+                      ) -> tuple[float, float, int]:
+        """(seconds, hit_rate, transactions) for one indexed stream."""
+        p = self.platform
+        tx_lines = warp_transaction_lines(indices, elem_bytes,
+                                          p.warp_size, p.cache_line_bytes,
+                                          passes=passes,
+                                          pass_stride=pass_stride)
+        n_tx = tx_lines.size
+        if n_tx == 0:
+            return 0.0, 1.0, 0
+        sample = tx_lines[:_MAX_TRACE]
+        hit = stack_distance_hit_rate(sample,
+                                      self._effective_llc_lines(cache_scale))
+        miss_tx = (1.0 - hit) * n_tx
+        hit_tx = hit * n_tx
+        line = p.cache_line_bytes
+        t_bw = (miss_tx * line / p.stream_bw_bytes
+                + hit_tx * line / p.llc_bw_bytes)
+        # Little's-law latency floor on the DRAM misses.
+        t_lat = miss_tx * p.mem_latency_ns * 1e-9 / self.memory.mlp
+        factor = 2.0 if is_rmw else 1.0
+        return factor * max(t_bw, t_lat), hit, n_tx
+
+    def _atomic_excess_time(self, keys: np.ndarray,
+                            ops_per_element: int = 1) -> float:
+        """Serialization beyond one slot per warp.
+
+        *ops_per_element* scales the replay work (each particle's 12
+        accumulator updates replay independently) but not the
+        hot-address critical chain — the component updates go to 12
+        *distinct* addresses, so per-address chains stay at the raw
+        key multiplicity.
+        """
+        from repro.machine.atomics_model import conflict_slots
+        p = self.platform
+        keys = np.asarray(keys, dtype=np.int64).ravel()
+        if keys.size == 0:
+            return 0.0
+        warp = p.warp_size
+        slots = conflict_slots(keys, warp)
+        n_warps = -(-keys.size // warp)
+        excess = max(0, slots - n_warps) * ops_per_element
+        concurrency = max(1, p.core_count // warp)
+        base = excess * p.atomic_ns * 1e-9 / concurrency
+        counts = np.bincount(keys - keys.min())
+        critical = counts.max() * p.atomic_ns * 1e-9
+        return max(base, critical if excess else 0.0)
+
+    # -- public API -----------------------------------------------------------------
+
+    def predict(self, trace: AccessTrace, cost: KernelCost) -> dict:
+        """Component breakdown (seconds) for one kernel launch."""
+        t_compute = compute_time_gpu(self.platform, cost, trace.n_ops)
+        t_stream = self.memory.stream_time(trace.streamed_bytes)
+
+        t_gather = t_scatter = t_atomic = 0.0
+        gather_hit = scatter_hit = None
+        gather_tx = scatter_tx = 0
+        dram_bytes = trace.streamed_bytes
+        line = self.platform.cache_line_bytes
+        if trace.gather_indices is not None:
+            t_gather, gather_hit, gather_tx = self._indexed_time(
+                trace.gather_indices, trace.gather_elem_bytes, is_rmw=False,
+                cache_scale=trace.cache_scale)
+            dram_bytes += (1.0 - gather_hit) * gather_tx * line
+        if trace.scatter_indices is not None:
+            ops = trace.scatter_ops_per_element
+            # Multi-component deposits issue one 4-byte pass per
+            # accumulator component.
+            sc_passes, sc_stride = (ops, 4) if ops > 1 else (0, 0)
+            t_scatter, scatter_hit, scatter_tx = self._indexed_time(
+                trace.scatter_indices, trace.scatter_elem_bytes,
+                is_rmw=trace.scatter_is_atomic,
+                cache_scale=trace.cache_scale,
+                passes=sc_passes, pass_stride=sc_stride)
+            rmw = 2.0 if trace.scatter_is_atomic else 1.0
+            dram_bytes += (1.0 - scatter_hit) * scatter_tx * line * rmw
+            if trace.scatter_is_atomic:
+                t_replay = self._atomic_excess_time(
+                    trace.scatter_indices, ops)
+                t_atomic = t_replay
+                if not self.platform.atomics_cached:
+                    # CDNA-class FP atomics bypass the cache: every
+                    # scatter transaction is a device-memory RMW.
+                    # Same-line lanes merge into one transaction and
+                    # the merged RMWs issue at ~1/16 of the
+                    # same-address interval, so this floor only binds
+                    # for heavily scattered (random-order) deposits.
+                    concurrency = max(
+                        1, self.platform.core_count // self.platform.warp_size)
+                    t_uncached = (scatter_tx * self.platform.atomic_ns
+                                  * 1e-9 / 16.0 / concurrency)
+                    t_atomic = max(t_replay, t_uncached)
+
+        t_mem = t_stream + t_gather + t_scatter
+        terms = sorted((t_compute, t_mem, t_atomic), reverse=True)
+        total = terms[0] + 0.3 * terms[1]
+        return {
+            "compute": t_compute,
+            "stream": t_stream,
+            "gather": t_gather,
+            "scatter": t_scatter,
+            "atomic": t_atomic,
+            "memory": t_mem,
+            "total": total,
+            "gather_hit_rate": gather_hit,
+            "scatter_hit_rate": scatter_hit,
+            "gather_transactions": gather_tx,
+            "scatter_transactions": scatter_tx,
+            "dram_bytes": dram_bytes,
+        }

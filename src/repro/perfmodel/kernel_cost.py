@@ -1,0 +1,153 @@
+"""Per-element compute/traffic accounting for the modelled kernels.
+
+A :class:`KernelCost` splits an iteration's work into *simple* flops
+(add/mul/fma — full SIMD/SIMT benefit) and *heavy* ops (div, sqrt,
+exp — limited vector benefit), plus the
+:class:`~repro.simd.autovec.KernelTraits` used by the vectorization
+analysis. Constructors at the bottom define the standard kernels the
+evaluation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_nonnegative
+from repro.simd.autovec import KernelTraits
+
+__all__ = [
+    "KernelCost",
+    "gather_scatter_cost",
+    "stencil_cost",
+    "push_kernel_cost",
+    "axpy_cost",
+    "planckian_cost",
+    "pi_reduce_cost",
+]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Compute profile of one kernel iteration."""
+
+    name: str
+    simple_flops: float
+    heavy_ops: float
+    traits: KernelTraits
+    #: non-FP instructions per iteration (address math, predicates) —
+    #: they occupy issue slots, which matters on weak scalar cores.
+    overhead_instrs: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("simple_flops", self.simple_flops)
+        check_nonnegative("heavy_ops", self.heavy_ops)
+        check_nonnegative("overhead_instrs", self.overhead_instrs)
+
+    @property
+    def flops(self) -> float:
+        """Total useful FP ops per iteration (heavies count as one)."""
+        return self.simple_flops + self.heavy_ops
+
+
+def gather_scatter_cost() -> KernelCost:
+    """The §5.4 microbenchmark: one gather, one FMA, one atomic add."""
+    traits = KernelTraits(
+        name="gather_scatter",
+        math_funcs=0,
+        branches=0,
+        has_reduction=False,
+        has_gather=True,
+        has_scatter=True,
+        flops=2.0,
+        bytes_read=16.0,          # value + gathered table entry
+        bytes_written=8.0,
+        body_statements=4,
+    )
+    return KernelCost("gather_scatter", simple_flops=2.0, heavy_ops=0.0,
+                      traits=traits, overhead_instrs=3.0)
+
+
+def stencil_cost(points: int = 5) -> KernelCost:
+    """§5.4's 5-point-stencil variant: *points* gathers per element."""
+    traits = KernelTraits(
+        name=f"stencil{points}",
+        math_funcs=0,
+        branches=0,
+        has_reduction=False,
+        has_gather=True,
+        has_scatter=True,
+        flops=2.0 * points,
+        bytes_read=8.0 * (points + 1),
+        bytes_written=8.0,
+        body_statements=3 + points,
+    )
+    return KernelCost(f"stencil{points}", simple_flops=2.0 * points,
+                      heavy_ops=0.0, traits=traits,
+                      overhead_instrs=2.0 + points)
+
+
+def push_kernel_cost() -> KernelCost:
+    """The VPIC particle push (§5.3/§5.4).
+
+    Per particle: trilinear field interpolation (~54 flops), the Boris
+    rotation (~60 flops + 1 rsqrt for the relativistic gamma), the
+    position update and cell-crossing logic (branches), and the
+    current deposition (~70 flops, atomic scatter). VPIC's own
+    accounting puts the push near 200 flops/particle; the division
+    between simple and heavy follows the kernel structure.
+    """
+    traits = KernelTraits(
+        name="particle_push",
+        math_funcs=1,             # rsqrt for gamma
+        branches=2,               # cell crossing, boundary handling
+        has_reduction=False,
+        has_gather=True,          # interpolator load by cell index
+        has_scatter=True,         # accumulator atomic update
+        flops=200.0,
+        bytes_read=32.0 + 72.0,   # particle struct + interpolator entry
+        bytes_written=32.0 + 48.0,  # particle struct + accumulator RMW
+        body_statements=80,
+    )
+    return KernelCost("particle_push", simple_flops=190.0, heavy_ops=4.0,
+                      traits=traits, overhead_instrs=40.0)
+
+
+def axpy_cost() -> KernelCost:
+    """RAJAPerf AXPY: ``y += a*x`` — the simplest SIMD kernel (§5.3)."""
+    traits = KernelTraits(
+        name="axpy",
+        flops=2.0,
+        bytes_read=16.0,
+        bytes_written=8.0,
+        body_statements=1,
+    )
+    return KernelCost("axpy", simple_flops=2.0, heavy_ops=0.0,
+                      traits=traits, overhead_instrs=1.0)
+
+
+def planckian_cost() -> KernelCost:
+    """RAJAPerf PLANCKIAN: Planck's-law ratio with an ``exp`` (§5.3)."""
+    traits = KernelTraits(
+        name="planckian",
+        math_funcs=1,
+        flops=6.0,
+        bytes_read=32.0,
+        bytes_written=8.0,
+        body_statements=4,
+    )
+    return KernelCost("planckian", simple_flops=4.0, heavy_ops=2.0,
+                      traits=traits, overhead_instrs=2.0)
+
+
+def pi_reduce_cost() -> KernelCost:
+    """RAJAPerf PI_REDUCE: quadrature for pi — division + reduction."""
+    traits = KernelTraits(
+        name="pi_reduce",
+        has_reduction=True,
+        flops=6.0,
+        bytes_read=0.0,           # index-generated, no memory stream
+        bytes_written=0.0,
+        body_statements=4,
+    )
+    return KernelCost("pi_reduce", simple_flops=4.0, heavy_ops=1.0,
+                      traits=traits, overhead_instrs=2.0)

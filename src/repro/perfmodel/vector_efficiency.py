@@ -1,0 +1,182 @@
+"""Compute-time model: strategies x ISAs x platforms.
+
+Turns a :class:`~repro.perfmodel.kernel_cost.KernelCost` plus a
+vectorization strategy into seconds of compute on a platform. The
+decision of *whether and how well* a loop vectorizes comes from
+:func:`repro.simd.autovec.analyze_kernel`; this module adds the
+platform arithmetic. Structure of the per-iteration cycle count:
+
+``simple`` — FMA-class flops at 2/lane/cycle, scaled by the achieved
+lane speedup (width x lane efficiency);
+``heavy`` — div/sqrt-class ops whose SIMD gain is capped
+(``HEAVY_VECTOR_CAP``: iterative units barely pipeline) — this is why
+PI_REDUCE's manual win is ~2x, not width-x (§5.3);
+``math`` — libm-class calls: expensive scalar (35 cycles), cheaper
+through a vector math library, with the auto strategy's suboptimal
+libm use capped harder than guided/manual's;
+``mem`` — load/store issue slots, amortized by the vector width only
+for strategies that generate vector load/store code (manual/ad hoc
+register transposes; §5.3's "compilers cannot easily generate the
+optimized load/store code");
+``overhead`` — loop control and addressing.
+
+Scalar fallback paths (auto on complex kernels, manual on SVE-only
+chips) pay every slot at the platform's ``scalar_ipc`` — in-order
+cores (A64FX) are disproportionately hurt, reproducing Figure 3's
+A64FX manual slowdown.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_positive
+from repro.machine.specs import ISA, PlatformSpec, isa_lanes
+from repro.perfmodel.kernel_cost import KernelCost
+from repro.simd.autovec import Strategy, analyze_kernel
+from repro.simd.intrinsics import library_for_isa
+from repro.simd.packs import simd_width_for
+
+__all__ = [
+    "effective_lane_speedup",
+    "compute_time_cpu",
+    "compute_time_gpu",
+    "strategy_isa",
+]
+
+#: Cycles one divide/sqrt-class op costs on a scalar pipe.
+HEAVY_OP_CYCLES = 5.0
+#: Max SIMD speedup for heavy ops.
+HEAVY_VECTOR_CAP = 1.8
+#: Cycles of one libm call: scalar, and through a vector math library.
+MATH_SCALAR_CYCLES = 35.0
+MATH_VECTOR_CYCLES = 12.0
+#: Vector-math speedup caps per strategy (auto's libm use is poor).
+MATH_CAP = {Strategy.AUTO: 2.0, Strategy.GUIDED: 6.0,
+            Strategy.MANUAL: 6.0, Strategy.ADHOC: 8.0}
+#: FMA pipes issue 2 flops per lane per cycle.
+FLOPS_PER_LANE_CYCLE = 2.0
+#: Load/store issue slots per cycle per core.
+MEM_SLOTS_PER_CYCLE = 2.0
+
+
+def strategy_isa(platform: PlatformSpec, strategy: Strategy) -> ISA:
+    """The ISA a strategy actually targets on *platform*.
+
+    AUTO/GUIDED use the compiler's best ISA; MANUAL the Kokkos SIMD
+    library's best (SCALAR when none — §4.1's missing SVE); ADHOC the
+    VPIC 1.2 library's best, raising ``LookupError`` where that
+    library has no implementation (GPUs).
+    """
+    if strategy in (Strategy.AUTO, Strategy.GUIDED):
+        return platform.best_isa(platform.compiler_isas)
+    if strategy is Strategy.MANUAL:
+        return platform.best_isa(platform.kokkos_simd_isas)
+    if strategy is Strategy.ADHOC:
+        return library_for_isa(platform.adhoc_isas).isa
+    raise ValueError(f"unknown strategy {strategy}")
+
+
+def _strategy_width(platform: PlatformSpec, strategy: Strategy,
+                    isa: ISA) -> int:
+    """Vector lanes (f32) the strategy drives, including SIMD units."""
+    if strategy is Strategy.MANUAL:
+        base = simd_width_for(platform)
+    else:
+        base = isa_lanes(isa, 4) if isa is not ISA.SCALAR else 1
+    return max(1, base * platform.simd_units)
+
+
+def effective_lane_speedup(platform: PlatformSpec, cost: KernelCost,
+                           strategy: Strategy) -> float:
+    """Achieved simple-flop speedup over one scalar lane.
+
+    1.0 when the strategy's code is effectively scalar; otherwise
+    lanes x lane-efficiency, capped at the platform's peak width.
+    """
+    isa = strategy_isa(platform, strategy)
+    outcome = analyze_kernel(cost.traits, strategy, isa)
+    if not outcome.vectorized or isa is ISA.SCALAR:
+        return 1.0
+    peak_isa = platform.best_isa(platform.compiler_isas)
+    peak_width = isa_lanes(peak_isa, 4) * platform.simd_units
+    width = min(_strategy_width(platform, strategy, isa), peak_width)
+    return width * outcome.lane_efficiency
+
+
+def _mem_instrs(cost: KernelCost) -> float:
+    """Load/store issue slots per iteration (8-byte granules)."""
+    return cost.traits.bytes_total / 8.0
+
+
+def compute_time_cpu(platform: PlatformSpec, cost: KernelCost,
+                     strategy: Strategy, n: int) -> float:
+    """Seconds of compute for *n* iterations on a CPU platform."""
+    check_positive("n", n)
+    if platform.is_gpu:
+        raise ValueError(f"{platform.name} is a GPU; use compute_time_gpu")
+    isa = strategy_isa(platform, strategy)
+    outcome = analyze_kernel(cost.traits, strategy, isa)
+    total_core_rate = platform.core_count * platform.clock_ghz * 1e9
+    ipc_factor = platform.scalar_ipc / 2.0
+    traits = cost.traits
+
+    if not outcome.vectorized or isa is ISA.SCALAR:
+        cycles = (
+            cost.simple_flops / (FLOPS_PER_LANE_CYCLE * ipc_factor)
+            + cost.heavy_ops * HEAVY_OP_CYCLES
+            + traits.math_funcs * MATH_SCALAR_CYCLES
+            + _mem_instrs(cost) / (MEM_SLOTS_PER_CYCLE * ipc_factor)
+            + cost.overhead_instrs / (MEM_SLOTS_PER_CYCLE * ipc_factor)
+        )
+        return n * cycles / total_core_rate
+
+    peak_isa = platform.best_isa(platform.compiler_isas)
+    peak_width = isa_lanes(peak_isa, 4) * platform.simd_units
+    width = min(_strategy_width(platform, strategy, isa), peak_width)
+    speedup = width * outcome.lane_efficiency
+
+    simple = cost.simple_flops / (FLOPS_PER_LANE_CYCLE * speedup)
+    heavy = cost.heavy_ops * HEAVY_OP_CYCLES / min(speedup, HEAVY_VECTOR_CAP)
+    math = (traits.math_funcs * MATH_VECTOR_CYCLES
+            / min(speedup, MATH_CAP[strategy]))
+    # Manual/ad hoc generate true vector load/store + register
+    # transposes; compiler strategies issue mostly element-granular
+    # memory ops when the access is structured/gathered (§5.3).
+    if strategy in (Strategy.MANUAL, Strategy.ADHOC):
+        mem = _mem_instrs(cost) * 2.0 / width / MEM_SLOTS_PER_CYCLE
+    elif traits.has_gather or traits.has_scatter:
+        mem = _mem_instrs(cost) / MEM_SLOTS_PER_CYCLE
+    else:
+        mem = _mem_instrs(cost) / width / MEM_SLOTS_PER_CYCLE
+    overhead = cost.overhead_instrs / width / MEM_SLOTS_PER_CYCLE
+    cycles = simple + heavy + math + mem + overhead
+    return n * cycles / total_core_rate
+
+
+#: SIMT cost ratios relative to one FMA slot.
+_GPU_HEAVY_SLOTS = 4.0       # SFU-issued divide/sqrt
+_GPU_MATH_SLOTS = 8.0        # SFU transcendental
+_GPU_OVERHEAD_SLOTS = 0.5    # integer/address ops dual-issue with FP
+
+
+def compute_time_gpu(platform: PlatformSpec, cost: KernelCost,
+                     n: int) -> float:
+    """Seconds of compute for *n* iterations on a GPU platform.
+
+    GPUs have one vectorization strategy — the SIMT model itself
+    (§3.1) — so no strategy parameter; divergence and indexed-access
+    penalties come from the SIMT branch of ``analyze_kernel``.
+    """
+    check_positive("n", n)
+    if not platform.is_gpu:
+        raise ValueError(f"{platform.name} is a CPU; use compute_time_cpu")
+    isa = platform.best_isa(platform.compiler_isas)
+    outcome = analyze_kernel(cost.traits, Strategy.AUTO, isa)
+    peak = platform.peak_fp32_gflops * 1e9
+    fma_slots = (
+        cost.simple_flops
+        + cost.heavy_ops * _GPU_HEAVY_SLOTS
+        + cost.traits.math_funcs * _GPU_MATH_SLOTS
+        + cost.overhead_instrs * _GPU_OVERHEAD_SLOTS
+    )
+    eff = outcome.lane_efficiency * platform.simt_efficiency
+    return n * fma_slots / (peak * eff)

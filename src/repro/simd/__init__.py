@@ -1,0 +1,62 @@
+"""Vectorization substrate.
+
+Four strategies appear in the paper (§3.1/§4.2), in increasing order
+of developer effort:
+
+1. **auto** — rely on the compiler (`#pragma ivdep`); modelled by
+   :mod:`repro.simd.autovec`'s success heuristics.
+2. **guided** — force vectorization (`#pragma omp simd`) and split
+   kernels around hard-to-vectorize math.
+3. **manual** — the Kokkos SIMD library: explicit width-typed packs
+   with masks (:mod:`repro.simd.packs`) plus register transposes
+   (:mod:`repro.simd.transpose`).
+4. **ad hoc** — VPIC 1.2's hand-written per-ISA intrinsics library
+   (:mod:`repro.simd.intrinsics`), the 57%-of-the-codebase burden
+   quantified in Figure 1 (:mod:`repro.simd.inventory`).
+
+The packs and intrinsics layers are *working* vector abstractions over
+numpy: the same kernel written against them computes real results in
+tests and examples, while their structural properties (width, masks,
+ISA coverage) feed the performance model.
+"""
+
+from repro.simd.packs import Pack, Mask, simd_width_for, pack_loop
+from repro.simd.intrinsics import (
+    IntrinsicsLib,
+    V4FloatSSE,
+    V4FloatNEON,
+    V4FloatAltivec,
+    V8FloatAVX2,
+    V16FloatAVX512,
+    library_for_isa,
+)
+from repro.simd.transpose import (
+    transpose_load_soa,
+    transpose_store_soa,
+    load_interleaved,
+    store_interleaved,
+)
+from repro.simd.autovec import KernelTraits, VectorizationOutcome, analyze_kernel
+from repro.simd.inventory import (
+    SimdInventoryEntry,
+    VPIC12_INVENTORY,
+    total_loc,
+    simd_loc,
+    kernel_loc,
+    simd_fraction,
+    kernel_fraction,
+    breakdown_by_width,
+    breakdown_by_platform,
+)
+
+__all__ = [
+    "Pack", "Mask", "simd_width_for", "pack_loop",
+    "IntrinsicsLib", "V4FloatSSE", "V4FloatNEON", "V4FloatAltivec",
+    "V8FloatAVX2", "V16FloatAVX512", "library_for_isa",
+    "transpose_load_soa", "transpose_store_soa",
+    "load_interleaved", "store_interleaved",
+    "KernelTraits", "VectorizationOutcome", "analyze_kernel",
+    "SimdInventoryEntry", "VPIC12_INVENTORY", "total_loc", "simd_loc",
+    "kernel_loc", "simd_fraction", "kernel_fraction",
+    "breakdown_by_width", "breakdown_by_platform",
+]

@@ -1,0 +1,80 @@
+"""Register-transpose helpers for AoS <-> SoA data movement.
+
+VPIC stores particles as interleaved structs (dx, dy, dz, cell, ux,
+uy, uz, w). SIMD kernels want one register per *field*; the bridge is
+an in-register transpose (``load_4x4_tr`` etc.). §4.2 notes the
+manual strategy reimplements these transposes on Kokkos SIMD "with
+much less instruction-set-specific code" — here they are width-generic
+functions over numpy blocks, used by both the manual strategy and the
+particle kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+
+__all__ = [
+    "transpose_load_soa",
+    "transpose_store_soa",
+    "load_interleaved",
+    "store_interleaved",
+]
+
+
+def transpose_load_soa(aos: np.ndarray, first: int, count: int,
+                       nfields: int) -> np.ndarray:
+    """Gather *count* structs of *nfields* floats into SoA form.
+
+    ``aos`` is flat interleaved storage; struct *i* occupies
+    ``[ (first+i)*nfields, (first+i+1)*nfields )``. Returns an array
+    of shape ``(nfields, count)`` — one "register row" per field.
+    """
+    check_positive("nfields", nfields)
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    end = (first + count) * nfields
+    if first < 0 or end > aos.shape[0]:
+        raise IndexError(
+            f"transpose_load [{first}, {first + count}) structs out of "
+            f"bounds for {aos.shape[0] // nfields} structs"
+        )
+    block = aos[first * nfields:end].reshape(count, nfields)
+    return block.T.copy()
+
+
+def transpose_store_soa(soa: np.ndarray, aos: np.ndarray, first: int) -> None:
+    """Inverse of :func:`transpose_load_soa`: SoA rows back to AoS."""
+    nfields, count = soa.shape
+    end = (first + count) * nfields
+    if first < 0 or end > aos.shape[0]:
+        raise IndexError(
+            f"transpose_store [{first}, {first + count}) structs out of "
+            f"bounds for {aos.shape[0] // nfields} structs"
+        )
+    aos[first * nfields:end] = soa.T.reshape(-1)
+
+
+def load_interleaved(aos: np.ndarray, indices: np.ndarray,
+                     nfields: int) -> np.ndarray:
+    """Gather arbitrary (non-contiguous) structs into SoA rows.
+
+    Used after sorting changes particle order: ``indices`` selects
+    struct numbers; returns ``(nfields, len(indices))``.
+    """
+    check_positive("nfields", nfields)
+    idx = np.asarray(indices, dtype=np.int64)
+    base = idx[:, None] * nfields + np.arange(nfields)[None, :]
+    return aos[base].T.copy()
+
+
+def store_interleaved(soa: np.ndarray, aos: np.ndarray,
+                      indices: np.ndarray) -> None:
+    """Scatter SoA rows back to arbitrary struct slots."""
+    nfields, count = soa.shape
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size != count:
+        raise ValueError(f"indices length {idx.size} != count {count}")
+    base = idx[:, None] * nfields + np.arange(nfields)[None, :]
+    aos[base] = soa.T

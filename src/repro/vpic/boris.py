@@ -1,0 +1,77 @@
+"""The relativistic Boris particle push.
+
+The Boris scheme is the standard leapfrog momentum update: half an
+electric kick, a magnetic rotation, the second half kick. It
+preserves gyro-orbit radii to machine precision in a static B field —
+the property the push tests verify.
+
+Momenta are normalized (u = p/mc); fields arrive already interpolated
+to particle positions; charge-to-mass enters as ``qdt_2mc``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["boris_push", "advance_positions"]
+
+
+def boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
+               q: float, m: float, dt: float) -> None:
+    """Advance normalized momenta in place by one step.
+
+    Implements the standard Boris rotation:
+
+    1. ``u^- = u + (q dt / 2 m) E``
+    2. rotation about B by the exact half-angle tangent
+       ``t = (q dt / 2 m) B / gamma^-``
+    3. ``u^+ = u' + (q dt / 2 m) E``
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    f32 = np.float32
+    qdt_2m = f32(0.5 * q * dt / m)
+
+    # Half electric kick.
+    umx = ux + qdt_2m * ex
+    umy = uy + qdt_2m * ey
+    umz = uz + qdt_2m * ez
+
+    # Gamma at the half step.
+    gamma = np.sqrt(f32(1.0) + umx * umx + umy * umy + umz * umz)
+
+    # Rotation vectors t and s = 2t / (1 + t^2).
+    tx = qdt_2m * bx / gamma
+    ty = qdt_2m * by / gamma
+    tz = qdt_2m * bz / gamma
+    t2 = tx * tx + ty * ty + tz * tz
+    sx = f32(2.0) * tx / (f32(1.0) + t2)
+    sy = f32(2.0) * ty / (f32(1.0) + t2)
+    sz = f32(2.0) * tz / (f32(1.0) + t2)
+
+    # u' = u^- + u^- x t
+    upx = umx + (umy * tz - umz * ty)
+    upy = umy + (umz * tx - umx * tz)
+    upz = umz + (umx * ty - umy * tx)
+
+    # u^+ = u^- + u' x s
+    uplusx = umx + (upy * sz - upz * sy)
+    uplusy = umy + (upz * sx - upx * sz)
+    uplusz = umz + (upx * sy - upy * sx)
+
+    # Second half electric kick, stored in place.
+    ux[...] = uplusx + qdt_2m * ex
+    uy[...] = uplusy + qdt_2m * ey
+    uz[...] = uplusz + qdt_2m * ez
+
+
+def advance_positions(x, y, z, ux, uy, uz, dt: float) -> None:
+    """Move particles: ``x += v dt`` with ``v = u / gamma`` (c = 1)."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    f32 = np.float32
+    gamma = np.sqrt(f32(1.0) + ux * ux + uy * uy + uz * uz)
+    inv = f32(dt) / gamma
+    x += ux * inv
+    y += uy * inv
+    z += uz * inv

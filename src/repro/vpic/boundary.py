@@ -1,0 +1,71 @@
+"""Particle boundary conditions.
+
+Periodic wrapping (the default for the paper's benchmarks) and
+reflecting walls. Distributed runs additionally migrate particles
+between ranks via :mod:`repro.mpi.particle_exchange`; the functions
+here handle the physical domain boundary on each rank's local box.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.vpic.grid import Grid
+from repro.vpic.species import Species
+
+__all__ = ["BoundaryKind", "apply_particle_boundaries"]
+
+
+class BoundaryKind(enum.Enum):
+    PERIODIC = "periodic"
+    REFLECTING = "reflecting"
+
+
+def _wrap(pos: np.ndarray, lo: float, length: float) -> None:
+    """Periodic wrap of positions into [lo, lo + length)."""
+    pos -= lo
+    np.mod(pos, np.float32(length), out=pos)
+    pos += lo
+
+
+def _reflect(pos: np.ndarray, vel: np.ndarray, lo: float,
+             length: float) -> None:
+    """Reflect positions off walls at lo and lo+length, flipping the
+    corresponding momentum component."""
+    hi = lo + length
+    below = pos < lo
+    above = pos >= hi
+    pos[below] = np.float32(2.0) * np.float32(lo) - pos[below]
+    pos[above] = np.float32(2.0) * np.float32(hi) - pos[above]
+    flip = below | above
+    vel[flip] = -vel[flip]
+    # A particle ejected more than one box length is a deck error.
+    if np.any(pos < lo) or np.any(pos >= hi):
+        raise ValueError(
+            "particle moved more than a full box length in one step; "
+            "timestep too large for the given momenta"
+        )
+
+
+def apply_particle_boundaries(species: Species,
+                              kind: BoundaryKind = BoundaryKind.PERIODIC
+                              ) -> None:
+    """Apply the domain boundary to all live particles and refresh
+    their voxel indices."""
+    g = species.grid
+    lx, ly, lz = g.lengths
+    x, y, z = species.positions()
+    ux, uy, uz = species.momenta()
+    if kind is BoundaryKind.PERIODIC:
+        _wrap(x, g.x0, lx)
+        _wrap(y, g.y0, ly)
+        _wrap(z, g.z0, lz)
+    elif kind is BoundaryKind.REFLECTING:
+        _reflect(x, ux, g.x0, lx)
+        _reflect(y, uy, g.y0, ly)
+        _reflect(z, uz, g.z0, lz)
+    else:
+        raise ValueError(f"unhandled boundary kind {kind}")
+    species.update_voxels()

@@ -1,0 +1,111 @@
+"""Simulation decks: the input configuration VPIC runs from.
+
+A VPIC run is described by an input deck — grid geometry, species
+list, loading, boundary conditions, and run length. :class:`Deck`
+is the declarative equivalent; :meth:`Deck.build` materializes a
+:class:`~repro.vpic.simulation.Simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import enum
+
+from repro._util import check_positive
+from repro.core.sorting import SortKind
+from repro.vpic.boundary import BoundaryKind
+from repro.vpic.grid import Grid
+
+__all__ = ["SpeciesConfig", "Deck", "DepositionKind", "FieldBoundaryKind"]
+
+
+class DepositionKind(enum.Enum):
+    """Current-deposition scheme.
+
+    ``CIC`` is the fast trilinear scatter; ``ESIRKEPOV`` is the
+    charge-conserving density-decomposition scheme (exact discrete
+    continuity, ~2x the deposition cost).
+    """
+
+    CIC = "cic"
+    ESIRKEPOV = "esirkepov"
+
+
+class FieldBoundaryKind(enum.Enum):
+    """Field ghost handling.
+
+    ``PERIODIC`` wraps all axes; ``ABSORBING_X`` applies a first-order
+    Mur ABC on the x faces (laser decks: let the pump exit) while the
+    transverse axes stay periodic.
+    """
+
+    PERIODIC = "periodic"
+    ABSORBING_X = "absorbing-x"
+
+
+@dataclass(frozen=True)
+class SpeciesConfig:
+    """One species' loading parameters."""
+
+    name: str
+    q: float
+    m: float
+    ppc: int
+    uth: float = 0.0
+    drift: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("ppc", self.ppc)
+        check_positive("m", self.m)
+
+
+@dataclass
+class Deck:
+    """Declarative description of one simulation.
+
+    ``field_init`` / ``perturbation`` are optional callables invoked
+    with the built :class:`~repro.vpic.simulation.Simulation` to set
+    initial fields or perturb loaded particles (how the workload decks
+    seed instabilities).
+    """
+
+    name: str
+    nx: int
+    ny: int
+    nz: int
+    dx: float = 1.0
+    dy: float = 1.0
+    dz: float = 1.0
+    dt: float = 0.0
+    num_steps: int = 100
+    species: tuple[SpeciesConfig, ...] = ()
+    boundary: BoundaryKind = BoundaryKind.PERIODIC
+    field_boundary: FieldBoundaryKind = FieldBoundaryKind.PERIODIC
+    deposition: DepositionKind = DepositionKind.CIC
+    sort_kind: SortKind = SortKind.STANDARD
+    sort_interval: int = 20
+    sort_tile_size: int = 0
+    seed: int = 0
+    field_init: Callable | None = None
+    perturbation: Callable | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("num_steps", self.num_steps)
+
+    def make_grid(self) -> Grid:
+        return Grid(self.nx, self.ny, self.nz,
+                    self.dx, self.dy, self.dz, dt=self.dt)
+
+    def build(self):
+        """Materialize the simulation (imported lazily to keep the
+        deck module import-light)."""
+        from repro.vpic.simulation import Simulation
+        return Simulation.from_deck(self)
+
+    @property
+    def total_particles(self) -> int:
+        cells = self.nx * self.ny * self.nz
+        return sum(cells * s.ppc for s in self.species)

@@ -1,0 +1,96 @@
+"""Physics diagnostics: energy accounting and conservation checks.
+
+The integration tests use these to validate the PIC loop: total
+energy (field + kinetic) should be bounded for stable decks, the
+two-stream instability should convert kinetic to field energy at
+roughly the linear growth rate, and the Weibel instability should
+grow magnetic energy from anisotropic streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EnergySample", "EnergyDiagnostic", "energy_report",
+           "exponential_growth_rate"]
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """Energy breakdown at one step."""
+
+    step: int
+    time: float
+    electric: float
+    magnetic: float
+    kinetic: float
+
+    @property
+    def field(self) -> float:
+        return self.electric + self.magnetic
+
+    @property
+    def total(self) -> float:
+        return self.field + self.kinetic
+
+
+@dataclass
+class EnergyDiagnostic:
+    """Collects :class:`EnergySample` rows over a run."""
+
+    samples: list[EnergySample] = field(default_factory=list)
+
+    def record(self, simulation) -> EnergySample:
+        e, b = simulation.fields.field_energy()
+        k = sum(sp.kinetic_energy() for sp in simulation.species)
+        s = EnergySample(simulation.step_count,
+                         simulation.step_count * simulation.grid.dt,
+                         e, b, k)
+        self.samples.append(s)
+        return s
+
+    def series(self, name: str) -> np.ndarray:
+        return np.array([getattr(s, name) for s in self.samples])
+
+    def max_total_drift(self) -> float:
+        """Max relative deviation of total energy from its initial
+        value (conservation metric)."""
+        totals = self.series("total")
+        if totals.size == 0 or totals[0] == 0:
+            return 0.0
+        return float(np.max(np.abs(totals - totals[0])) / totals[0])
+
+
+def exponential_growth_rate(times: np.ndarray, values: np.ndarray,
+                            window: tuple[int, int] | None = None) -> float:
+    """Fit ``values ~ exp(2 gamma t)`` (energy grows at twice the
+    field growth rate); returns gamma.
+
+    *window* selects the linear-growth phase by sample index; default
+    is the middle half of the series.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if times.size != values.size or times.size < 4:
+        raise ValueError("need at least 4 matching samples")
+    if window is None:
+        window = (times.size // 4, 3 * times.size // 4)
+    lo, hi = window
+    t = times[lo:hi]
+    v = values[lo:hi]
+    if np.any(v <= 0):
+        raise ValueError("values must be positive in the fit window")
+    slope = np.polyfit(t, np.log(v), 1)[0]
+    return 0.5 * float(slope)
+
+
+def energy_report(diag: EnergyDiagnostic) -> str:
+    """Human-readable last-sample summary."""
+    if not diag.samples:
+        return "no samples"
+    s = diag.samples[-1]
+    return (f"step {s.step}: E={s.electric:.4e} B={s.magnetic:.4e} "
+            f"K={s.kinetic:.4e} total={s.total:.4e} "
+            f"(drift {diag.max_total_drift() * 100:.2f}%)")

@@ -1,0 +1,100 @@
+"""Field sources: laser antenna injection.
+
+VPIC decks drive lasers with boundary emitters rather than initial
+conditions. :class:`LaserAntenna` implements a soft source at a plane
+of constant x: each step it adds a time-enveloped sinusoid to the
+tangential E (and matched B) at the antenna plane, launching a wave
+toward +x. Combined with :class:`~repro.vpic.absorbing.
+AbsorbingFieldSolver` this gives the physical laser-plasma setup: the
+pulse enters, interacts, and exits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.vpic.fields import FieldArrays
+
+__all__ = ["LaserAntenna"]
+
+
+class LaserAntenna:
+    """Soft current-source laser at a plane ``x = plane_index * dx``.
+
+    Parameters
+    ----------
+    amplitude:
+        Peak normalized field (a0).
+    omega:
+        Laser angular frequency (in normalized units where w_pe ~ 1;
+        underdense propagation needs omega > 1).
+    t_rise, t_flat:
+        Envelope ramp-up time and flat-top duration; after
+        ``t_rise + t_flat`` the envelope ramps back down over
+        ``t_rise`` and the antenna goes quiet.
+    plane_index:
+        Interior x-index of the source plane (default 1: the first
+        interior cell).
+    polarization:
+        "y" (Ey/Bz) or "z" (Ez/By).
+    """
+
+    def __init__(self, amplitude: float, omega: float,
+                 t_rise: float, t_flat: float,
+                 plane_index: int = 1, polarization: str = "y"):
+        check_positive("amplitude", amplitude)
+        check_positive("omega", omega)
+        check_positive("t_rise", t_rise)
+        if t_flat < 0:
+            raise ValueError(f"t_flat must be >= 0, got {t_flat}")
+        if polarization not in ("y", "z"):
+            raise ValueError(f"polarization must be 'y' or 'z', "
+                             f"got {polarization!r}")
+        self.amplitude = amplitude
+        self.omega = omega
+        self.t_rise = t_rise
+        self.t_flat = t_flat
+        self.plane_index = plane_index
+        self.polarization = polarization
+
+    def envelope(self, t: float) -> float:
+        """Trapezoidal envelope in [0, 1]."""
+        if t < 0:
+            return 0.0
+        if t < self.t_rise:
+            return t / self.t_rise
+        if t < self.t_rise + self.t_flat:
+            return 1.0
+        tail = t - self.t_rise - self.t_flat
+        if tail < self.t_rise:
+            return 1.0 - tail / self.t_rise
+        return 0.0
+
+    @property
+    def duration(self) -> float:
+        """Total emission time."""
+        return 2 * self.t_rise + self.t_flat
+
+    def inject(self, fields: FieldArrays, step: int) -> None:
+        """Add this step's source contribution (call once per step,
+        after the field advance)."""
+        g = fields.grid
+        if not 1 <= self.plane_index <= g.nx:
+            raise ValueError(
+                f"plane_index {self.plane_index} outside interior "
+                f"[1, {g.nx}]")
+        t = step * g.dt
+        env = self.envelope(t)
+        if env == 0.0:
+            return
+        # Soft source: E and the matched B for a +x-travelling wave.
+        value = np.float32(self.amplitude * env
+                           * np.sin(self.omega * t) * g.dt)
+        i = self.plane_index
+        if self.polarization == "y":
+            fields.ey.data[i, 1:-1, 1:-1] += value
+            fields.bz.data[i, 1:-1, 1:-1] += value
+        else:
+            fields.ez.data[i, 1:-1, 1:-1] += value
+            fields.by.data[i, 1:-1, 1:-1] -= value

@@ -1,0 +1,127 @@
+"""Velocity-space moments on the grid: density, flow, pressure.
+
+§6 highlights that VPIC 2.0's headroom enables "advanced diagnostics
+that can be run in the timestep". These are the standard kinetic
+moments plasma analyses need, computed with the same CIC weighting as
+the deposition (so moments and fields live on the same nodes):
+
+- number density ``n``,
+- mean flow velocity ``<v>``,
+- kinetic temperature per axis ``T_a = m <(v_a - <v_a>)^2>``
+  (non-relativistic form; adequate for the thermal decks).
+
+All functions return ghost-inclusive flat voxel arrays; fold ghosts
+periodically before interpreting edge cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kokkos.atomics import atomic_add
+from repro.vpic.deposit import cic_weights
+from repro.vpic.grid import Grid
+from repro.vpic.species import Species
+
+__all__ = ["number_density", "flow_velocity", "temperature",
+           "MomentSet", "compute_moments"]
+
+
+def _scatter(grid: Grid, x, y, z, values: np.ndarray,
+             out: np.ndarray) -> np.ndarray:
+    ix, iy, iz = grid.cell_of_position(x, y, z)
+    fx, fy, fz = grid.cell_fraction(x, y, z)
+    _, sy, sz = grid.shape
+    for di, dj, dk, wt in cic_weights(fx, fy, fz):
+        vox = ((ix + di) * sy + (iy + dj)) * sz + (iz + dk)
+        atomic_add(out, vox, (wt * values).astype(out.dtype))
+    return out
+
+
+def number_density(species: Species) -> np.ndarray:
+    """CIC number density (particles x weight per volume)."""
+    g = species.grid
+    out = np.zeros(g.n_voxels, dtype=np.float64)
+    if species.n == 0:
+        return out
+    x, y, z = species.positions()
+    w = species.live("w").astype(np.float64) / g.cell_volume
+    return _scatter(g, x, y, z, w, out)
+
+
+def flow_velocity(species: Species) -> tuple[np.ndarray, np.ndarray]:
+    """(density, velocity[3, n_voxels]): CIC mean flow per cell."""
+    g = species.grid
+    dens = number_density(species)
+    vel = np.zeros((3, g.n_voxels), dtype=np.float64)
+    if species.n == 0:
+        return dens, vel
+    x, y, z = species.positions()
+    ux, uy, uz = species.momenta()
+    gamma = species.gamma()
+    w = species.live("w").astype(np.float64) / g.cell_volume
+    for axis, u in enumerate((ux, uy, uz)):
+        _scatter(g, x, y, z, w * u.astype(np.float64) / gamma, vel[axis])
+    nonzero = dens > 0
+    vel[:, nonzero] /= dens[nonzero]
+    return dens, vel
+
+
+def temperature(species: Species) -> np.ndarray:
+    """Per-axis kinetic temperature [3, n_voxels] (units of m c^2).
+
+    ``T_a = m <(v_a - <v_a>)^2>`` with CIC-weighted cell averages.
+    """
+    g = species.grid
+    dens, vel = flow_velocity(species)
+    temp = np.zeros((3, g.n_voxels), dtype=np.float64)
+    if species.n == 0:
+        return temp
+    x, y, z = species.positions()
+    ux, uy, uz = species.momenta()
+    gamma = species.gamma()
+    w = species.live("w").astype(np.float64) / g.cell_volume
+    vox = species.live("voxel")
+    for axis, u in enumerate((ux, uy, uz)):
+        v = u.astype(np.float64) / gamma
+        dv = v - vel[axis][vox]        # deviation from the local flow
+        _scatter(g, x, y, z, w * species.m * dv * dv, temp[axis])
+    nonzero = dens > 0
+    temp[:, nonzero] /= dens[nonzero]
+    return temp
+
+
+class MomentSet:
+    """Bundled moments of one species at one instant."""
+
+    def __init__(self, species: Species):
+        self.grid = species.grid
+        self.density, self.velocity = flow_velocity(species)
+        self.temperature = temperature(species)
+
+    def mean_density(self) -> float:
+        """Volume-averaged interior density."""
+        g = self.grid
+        interior = self.density.reshape(g.shape)[1:-1, 1:-1, 1:-1]
+        return float(interior.mean())
+
+    def mean_temperature(self) -> np.ndarray:
+        """Density-weighted mean temperature per axis."""
+        w = self.density
+        total = w.sum()
+        if total == 0:
+            return np.zeros(3)
+        return (self.temperature * w).sum(axis=1) / total
+
+    def anisotropy(self) -> float:
+        """T_parallel-max / T_perp-min ratio — the Weibel drive."""
+        t = self.mean_temperature()
+        lo = t.min()
+        if lo <= 0:
+            return float("inf") if t.max() > 0 else 1.0
+        return float(t.max() / lo)
+
+
+def compute_moments(species: Species) -> MomentSet:
+    """Convenience constructor matching the diagnostic call style."""
+    return MomentSet(species)

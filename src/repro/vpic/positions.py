@@ -1,0 +1,142 @@
+"""Cell-offset particle positions: the memory/precision optimization
+of the paper's cited prior work (refs [19, 20], §2.3).
+
+VPIC stores particle positions as *(voxel, in-cell offset)* rather
+than global coordinates. Two wins:
+
+- **precision**: a float32 global coordinate loses absolute precision
+  as the box grows (~L * 2^-24); a cell-local offset in [-1, 1] keeps
+  the same relative precision everywhere — essential for the
+  trillion-particle runs refs [19, 20] target;
+- **memory**: the voxel index can be compressed to the smallest
+  integer type the grid needs, which is exactly how those papers
+  shrink the particle footprint to break problem-size barriers.
+
+:class:`CellOffsetPositions` converts to/from global coordinates and
+advances positions with correct cell-crossing handling;
+:func:`compressed_voxel_dtype` and :func:`particle_bytes` expose the
+memory accounting the scalability analysis uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.vpic.grid import Grid
+
+__all__ = ["CellOffsetPositions", "compressed_voxel_dtype",
+           "particle_bytes", "global_position_error",
+           "cell_offset_error"]
+
+
+def compressed_voxel_dtype(grid: Grid) -> np.dtype:
+    """Smallest unsigned integer dtype that can index every voxel."""
+    n = grid.n_voxels
+    for dt in (np.uint16, np.uint32):
+        if n <= np.iinfo(dt).max + 1:
+            return np.dtype(dt)
+    return np.dtype(np.uint64)
+
+
+def particle_bytes(grid: Grid, layout: str = "cell-offset") -> int:
+    """Bytes per particle under each storage layout.
+
+    - ``global``: 3 x f32 positions + 3 x f32 momenta + f32 weight +
+      i64 voxel (the plain SoA layout of :class:`Species`);
+    - ``cell-offset``: 3 x f32 offsets + momenta + weight + the
+      *compressed* voxel index (refs [19, 20]'s layout).
+    """
+    base = 3 * 4 + 3 * 4 + 4    # offsets/positions + momenta + weight
+    if layout == "global":
+        return base + 8
+    if layout == "cell-offset":
+        return base + compressed_voxel_dtype(grid).itemsize
+    raise ValueError(f"unknown layout {layout!r}")
+
+
+class CellOffsetPositions:
+    """Positions as (voxel, offsets in [-1, 1]) per VPIC convention.
+
+    Offset -1 is the cell's low face, +1 the high face, 0 the center.
+    """
+
+    def __init__(self, grid: Grid, n: int):
+        check_positive("n", n)
+        self.grid = grid
+        self.n = n
+        self.voxel = np.zeros(n, dtype=compressed_voxel_dtype(grid))
+        self.ox = np.zeros(n, dtype=np.float32)
+        self.oy = np.zeros(n, dtype=np.float32)
+        self.oz = np.zeros(n, dtype=np.float32)
+
+    # -- conversions ------------------------------------------------------------
+
+    @classmethod
+    def from_global(cls, grid: Grid, x, y, z) -> "CellOffsetPositions":
+        """Convert float64 global coordinates (use float64 inputs to
+        avoid importing the very roundoff this layout removes)."""
+        x = np.asarray(x, dtype=np.float64)
+        out = cls(grid, x.shape[0])
+        ix, iy, iz = grid.cell_of_position(x, y, z)
+        out.voxel[:] = grid.voxel(ix, iy, iz)
+        fx, fy, fz = grid.cell_fraction(
+            x, np.asarray(y, np.float64), np.asarray(z, np.float64))
+        out.ox[:] = (2.0 * fx - 1.0).astype(np.float32)
+        out.oy[:] = (2.0 * fy - 1.0).astype(np.float32)
+        out.oz[:] = (2.0 * fz - 1.0).astype(np.float32)
+        return out
+
+    def to_global(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reconstruct float64 global coordinates."""
+        g = self.grid
+        ix, iy, iz = g.voxel_coords(self.voxel.astype(np.int64))
+        x = g.x0 + (ix - 1 + (self.ox.astype(np.float64) + 1.0) / 2.0) \
+            * g.dx
+        y = g.y0 + (iy - 1 + (self.oy.astype(np.float64) + 1.0) / 2.0) \
+            * g.dy
+        z = g.z0 + (iz - 1 + (self.oz.astype(np.float64) + 1.0) / 2.0) \
+            * g.dz
+        return x, y, z
+
+    # -- motion -------------------------------------------------------------------
+
+    def advance(self, dx, dy, dz) -> None:
+        """Move by physical displacements with cell-crossing updates.
+
+        Offsets accumulate in cell units (2/d per unit length); when
+        an offset leaves [-1, 1) the particle migrates to the
+        neighboring cell with periodic wrapping at the box edges.
+        """
+        g = self.grid
+        ix, iy, iz = g.voxel_coords(self.voxel.astype(np.int64))
+        for off, disp, d, idx, n in (
+                (self.ox, dx, g.dx, ix, g.nx),
+                (self.oy, dy, g.dy, iy, g.ny),
+                (self.oz, dz, g.dz, iz, g.nz)):
+            moved = off.astype(np.float64) + \
+                2.0 * np.asarray(disp, np.float64) / d
+            # continuous cell coordinate relative to the current cell
+            shift = np.floor((moved + 1.0) / 2.0).astype(np.int64)
+            off[:] = (moved - 2.0 * shift).astype(np.float32)
+            idx += shift
+            # periodic wrap of interior cell indices 1..n
+            idx[:] = (idx - 1) % n + 1
+        self.voxel[:] = g.voxel(ix, iy, iz)
+
+    def memory_bytes(self) -> int:
+        """Actual bytes used by the position representation."""
+        return (self.voxel.nbytes + self.ox.nbytes + self.oy.nbytes
+                + self.oz.nbytes)
+
+
+def global_position_error(box_length: float) -> float:
+    """Worst-case float32 absolute roundoff for a global coordinate."""
+    check_positive("box_length", box_length)
+    return box_length * 2.0 ** -24
+
+
+def cell_offset_error(cell_length: float) -> float:
+    """Worst-case absolute roundoff for the cell-offset layout."""
+    check_positive("cell_length", cell_length)
+    return cell_length * 2.0 ** -24

@@ -1,0 +1,274 @@
+"""Standard decks: the workloads the paper's evaluation runs.
+
+- :func:`laser_plasma_deck` — the "laser-plasma instability"
+  benchmark class used for the vectorization (Fig. 4), sorting
+  (Fig. 7), and scaling (Figs. 9-10) studies: a thermal plasma slab
+  driven by a linearly polarized laser entering from vacuum.
+- :func:`two_stream_deck` — the classic two-stream instability
+  (physics validation: longitudinal field growth).
+- :func:`weibel_deck` — counter-streaming Weibel instability
+  (physics validation: magnetic field growth).
+- :func:`uniform_plasma_deck` — a plain thermal plasma used by unit
+  tests and microbenchmarks.
+
+All decks use normalized units with the electron plasma frequency
+near 1 (density is set via the particle weight so that
+``w_pe^2 = q^2 n / m = 1`` for the electron population).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.core.sorting import SortKind
+from repro.vpic.deck import Deck, SpeciesConfig
+
+__all__ = [
+    "uniform_plasma_deck",
+    "two_stream_deck",
+    "weibel_deck",
+    "laser_plasma_deck",
+    "harris_sheet_deck",
+]
+
+
+def _electron_weight(ppc: int, cell_volume: float,
+                     wpe: float = 1.0) -> float:
+    """Per-particle weight making the electron plasma frequency wpe.
+
+    ``w_pe^2 = q^2 n / m`` with q = m = 1 gives target density
+    ``n = wpe^2``; each cell holds *ppc* particles in *cell_volume*.
+    """
+    return wpe**2 * cell_volume / ppc
+
+
+def uniform_plasma_deck(nx: int = 16, ny: int = 16, nz: int = 16,
+                        ppc: int = 8, uth: float = 0.05,
+                        num_steps: int = 50, seed: int = 0,
+                        sort_kind: SortKind = SortKind.STANDARD,
+                        sort_interval: int = 20) -> Deck:
+    """Plain thermal electron plasma over a neutralizing background."""
+    check_positive("ppc", ppc)
+    dx = 0.5  # half a skin depth per cell
+    w = _electron_weight(ppc, dx**3)
+    return Deck(
+        name="uniform_plasma",
+        nx=nx, ny=ny, nz=nz, dx=dx, dy=dx, dz=dx,
+        num_steps=num_steps,
+        species=(
+            SpeciesConfig("electron", q=-1.0, m=1.0, ppc=ppc,
+                          uth=uth, weight=w),
+        ),
+        sort_kind=sort_kind,
+        sort_interval=sort_interval,
+        seed=seed,
+    )
+
+
+def two_stream_deck(nx: int = 64, ppc: int = 64, drift: float = 0.1,
+                    uth: float = 0.005, num_steps: int = 400,
+                    seed: int = 0) -> Deck:
+    """Two counter-streaming electron beams along x.
+
+    The cold-beam two-stream instability grows the longitudinal E
+    field at gamma_max = w_pe/2 per beam system (for equal beams with
+    w_pe the *total* plasma frequency, the fastest mode grows near
+    ``w_pe / 2`` when ``k v0 ~ sqrt(3)/2 w_pe``); the integration
+    test checks exponential growth within a factor-2 band.
+
+    The box is quasi-1D: ny = nz = 2 cells, periodic.
+    """
+    check_positive("drift", drift)
+    # Resolve the fastest-growing wavelength: k v0 ~ 0.6 wpe =>
+    # lambda = 2 pi v0 / (0.6 wpe). Fit ~2 wavelengths in the box.
+    lam = 2.0 * np.pi * drift / 0.6
+    dx = 2.0 * lam / nx
+    w = _electron_weight(ppc, dx**3) / 2.0   # two half-density beams
+    return Deck(
+        name="two_stream",
+        nx=nx, ny=2, nz=2, dx=dx, dy=dx, dz=dx,
+        num_steps=num_steps,
+        species=(
+            SpeciesConfig("beam+", q=-1.0, m=1.0, ppc=ppc // 2,
+                          uth=uth, drift=(drift, 0.0, 0.0), weight=w),
+            SpeciesConfig("beam-", q=-1.0, m=1.0, ppc=ppc // 2,
+                          uth=uth, drift=(-drift, 0.0, 0.0), weight=w),
+        ),
+        seed=seed,
+    )
+
+
+def weibel_deck(nx: int = 32, ny: int = 32, ppc: int = 32,
+                drift: float = 0.3, uth: float = 0.01,
+                num_steps: int = 300, seed: int = 0) -> Deck:
+    """Counter-streaming beams along z, quasi-2D in x-y.
+
+    The Weibel/filamentation instability converts streaming
+    anisotropy into transverse magnetic field; the test checks that
+    magnetic energy grows by orders of magnitude from the noise
+    floor.
+    """
+    dx = 0.5
+    w = _electron_weight(ppc, dx**3) / 2.0
+    return Deck(
+        name="weibel",
+        nx=nx, ny=ny, nz=2, dx=dx, dy=dx, dz=dx,
+        num_steps=num_steps,
+        species=(
+            SpeciesConfig("stream+", q=-1.0, m=1.0, ppc=ppc // 2,
+                          uth=uth, drift=(0.0, 0.0, drift), weight=w),
+            SpeciesConfig("stream-", q=-1.0, m=1.0, ppc=ppc // 2,
+                          uth=uth, drift=(0.0, 0.0, -drift), weight=w),
+        ),
+        seed=seed,
+    )
+
+
+def _laser_field_init(amplitude: float, wavelength_cells: float):
+    """Returns a field_init callable injecting a standing laser wave
+    in the vacuum half of the box (linear polarization: Ey, Bz)."""
+
+    def init(sim) -> None:
+        g = sim.grid
+        k = 2.0 * np.pi / (wavelength_cells * g.dx)
+        x_edges = g.x0 + (np.arange(g.nx + 2) - 1.0) * g.dx
+        # Laser occupies the first half of the box (vacuum region).
+        envelope = np.where(x_edges < g.x0 + g.nx * g.dx / 2.0, 1.0, 0.0)
+        wave = amplitude * np.sin(k * (x_edges - g.x0)) * envelope
+        sim.fields.ey.data[:, :, :] = wave[:, None, None].astype(np.float32)
+        sim.fields.bz.data[:, :, :] = wave[:, None, None].astype(np.float32)
+
+    return init
+
+
+def laser_plasma_deck(nx: int = 64, ny: int = 16, nz: int = 16,
+                      ppc: int = 32, a0: float = 0.5,
+                      uth: float = 0.02, num_steps: int = 100,
+                      seed: int = 0,
+                      sort_kind: SortKind = SortKind.STANDARD,
+                      sort_interval: int = 10) -> Deck:
+    """The laser-plasma instability benchmark (paper §5.3-§5.5).
+
+    A plasma slab fills the right half of the box; a linearly
+    polarized laser (normalized amplitude ``a0``) propagates in from
+    the vacuum half. Electrons and ions (mass ratio 1836) are mobile.
+    The particle distribution this deck produces — strongly
+    non-uniform in x, with relativistic electrons near the
+    interaction surface — is what makes the sorting strategies of
+    §3.2 matter.
+    """
+    dx = 0.4
+    w = _electron_weight(ppc, dx**3) * 2.0   # slab covers half the box
+
+    def slab_perturbation(sim) -> None:
+        # Confine the plasma to the right half of the box by folding
+        # left-half particles into the right half.
+        g = sim.grid
+        mid = g.x0 + g.nx * g.dx / 2.0
+        span = g.nx * g.dx / 2.0
+        for sp in sim.species:
+            x = sp.live("x")
+            left = x < mid
+            x[left] = mid + (x[left] - g.x0) % span
+            sp.update_voxels()
+
+    return Deck(
+        name="laser_plasma",
+        nx=nx, ny=ny, nz=nz, dx=dx, dy=dx, dz=dx,
+        num_steps=num_steps,
+        species=(
+            SpeciesConfig("electron", q=-1.0, m=1.0, ppc=ppc,
+                          uth=uth, weight=w),
+            SpeciesConfig("ion", q=1.0, m=1836.0, ppc=max(1, ppc // 4),
+                          uth=uth / 40.0, weight=w * ppc / max(1, ppc // 4)),
+        ),
+        field_init=_laser_field_init(a0, wavelength_cells=16.0),
+        perturbation=slab_perturbation,
+        sort_kind=sort_kind,
+        sort_interval=sort_interval,
+        seed=seed,
+    )
+
+
+def _harris_field_init(b0: float, sheet_half_width: float):
+    """Field initializer for a double Harris current sheet.
+
+    ``Bx(z) = B0 [tanh((z - L/4)/d) - tanh((z - 3L/4)/d) - 1]`` — two
+    oppositely-signed reversals so the periodic box stays consistent.
+    A small flux perturbation (X-point seed) is added on By... on Bz
+    via a sinusoidal vector-potential bump at the sheet centers.
+    """
+
+    def init(sim) -> None:
+        g = sim.grid
+        lz = g.nz * g.dz
+        z_centers = g.z0 + (np.arange(g.nz + 2) - 0.5) * g.dz
+        profile = (np.tanh((z_centers - g.z0 - lz / 4) / sheet_half_width)
+                   - np.tanh((z_centers - g.z0 - 3 * lz / 4)
+                             / sheet_half_width)
+                   - 1.0)
+        sim.fields.bx.data[:, :, :] = (
+            b0 * profile[None, None, :]).astype(np.float32)
+        # X-point seed: a weak long-wavelength Bz ripple along x.
+        lx = g.nx * g.dx
+        x_centers = g.x0 + (np.arange(g.nx + 2) - 0.5) * g.dx
+        ripple = 0.05 * b0 * np.sin(2 * np.pi * (x_centers - g.x0) / lx)
+        sim.fields.bz.data[:, :, :] += (
+            ripple[:, None, None]).astype(np.float32)
+
+    return init
+
+
+def harris_sheet_deck(nx: int = 32, nz: int = 32, ppc: int = 16,
+                      b0: float = 0.5, sheet_cells: float = 2.0,
+                      uth: float = 0.1, num_steps: int = 200,
+                      seed: int = 0) -> Deck:
+    """Magnetic reconnection: a (double) Harris current sheet.
+
+    The flagship VPIC workload class (§2.1 names magnetic
+    reconnection first). Counter-drifting electrons and ions carry
+    the sheet current that supports the reversed field; the seeded
+    X-point reconnects and converts magnetic to particle energy. The
+    deck is quasi-2D in x-z.
+
+    The loading is approximate (uniform density with a localized
+    drift rather than the exact Harris equilibrium), which is
+    standard for short demonstration runs: the sheet relaxes within
+    a few w_pe^-1 and reconnection proceeds from the seeded
+    perturbation.
+    """
+    dx = 0.5
+    d_sheet = sheet_cells * dx
+    w = _electron_weight(ppc, dx**3)
+    # Sheet drift that supports the field jump: from Ampere's law the
+    # current layer needs J_y ~ B0 / d; spread over the sheet density
+    # this sets the drift. Clamp well below c.
+    drift = min(0.4, b0 / (2.0 * d_sheet))
+
+    def sheet_perturbation(sim) -> None:
+        g = sim.grid
+        lz = g.nz * g.dz
+        for sp in sim.species:
+            z = sp.live("z")
+            uy = sp.live("uy")
+            s1 = np.exp(-((z - g.z0 - lz / 4) / d_sheet) ** 2)
+            s2 = np.exp(-((z - g.z0 - 3 * lz / 4) / d_sheet) ** 2)
+            sign = np.float32(1.0 if sp.q < 0 else -1.0)
+            # Opposite drifts in the two sheets keep net momentum zero.
+            uy += sign * np.float32(drift) * (s1 - s2).astype(np.float32)
+
+    return Deck(
+        name="harris_sheet",
+        nx=nx, ny=2, nz=nz, dx=dx, dy=dx, dz=dx,
+        num_steps=num_steps,
+        species=(
+            SpeciesConfig("electron", q=-1.0, m=1.0, ppc=ppc,
+                          uth=uth, weight=w),
+            SpeciesConfig("ion", q=1.0, m=25.0, ppc=ppc,
+                          uth=uth / 5.0, weight=w),
+        ),
+        field_init=_harris_field_init(b0, d_sheet),
+        perturbation=sheet_perturbation,
+        seed=seed,
+    )

@@ -1,0 +1,28 @@
+"""VPIC 1.2 emulation: the ad hoc baseline the paper compares against.
+
+VPIC 1.2's particle advance is hand-written per instruction set: AoS
+particle blocks are transposed into SIMD registers (``load_4x4_tr``-
+style), the Boris push runs on ``v4float``/``v8float`` intrinsics
+classes, and results transpose back. §2.1 quantifies the cost of that
+approach (57% of the codebase, re-engineered per ISA); §5.3 uses it as
+the performance bar the portable strategies must match.
+
+This package is a working emulation of that pipeline built on the
+intrinsics classes of :mod:`repro.simd.intrinsics`:
+
+- :mod:`repro.vpic12.particle_block` — AoS particle storage (the
+  8-float interleaved struct layout VPIC 1.2 uses);
+- :mod:`repro.vpic12.advance` — the transposed-register Boris push;
+- :mod:`repro.vpic12.pipeline` — a step driver gluing AoS storage to
+  the shared field arrays, with conversion to/from the SoA species.
+
+The tests verify the ad hoc pipeline computes *identical* physics to
+the portable VPIC 2.0 push (to float32 tolerance) — the premise of
+the paper's "performance parity" comparison.
+"""
+
+from repro.vpic12.particle_block import ParticleBlock, NFIELDS
+from repro.vpic12.advance import advance_block
+from repro.vpic12.pipeline import Vpic12Pipeline
+
+__all__ = ["ParticleBlock", "NFIELDS", "advance_block", "Vpic12Pipeline"]

@@ -1,0 +1,184 @@
+"""The VPIC 1.2-style transposed-register Boris push.
+
+The structure mirrors the original ``advance_p`` SIMD kernels: take
+``WIDTH`` particles at a time, transpose their AoS structs into one
+register per field (``load_tr``), gather the interpolated fields per
+lane, run the Boris rotation entirely in vector registers, advance
+positions, and transpose back (``store_tr``). The scalar epilogue
+handles the block remainder, exactly as the original does.
+
+This is the *ad hoc* strategy as running code: everything below uses
+only the per-ISA intrinsics classes of
+:mod:`repro.simd.intrinsics` — port it to a new ISA and you rewrite
+it, which is the maintenance burden Figure 1 quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.intrinsics import IntrinsicsLib
+from repro.vpic12.particle_block import FIELD_INDEX, NFIELDS, ParticleBlock
+
+__all__ = ["advance_block"]
+
+
+def _gather_lane_fields(gather_fn, x, y, z):
+    """Per-lane scalar field gather, as VPIC 1.2's kernels do before
+    transposing into registers."""
+    return gather_fn(x, y, z)
+
+
+def advance_block(block: ParticleBlock, lib: IntrinsicsLib, gather_fn,
+                  q: float, m: float, dt: float) -> None:
+    """Advance an AoS particle block one step with intrinsics.
+
+    *gather_fn(x, y, z)* returns the six interpolated field arrays
+    for arbitrary position arrays (the shared interpolator).
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    vfloat = lib.vfloat
+    width = vfloat.WIDTH
+    n = block.n
+    aos = block.aos
+    qdt_2m = np.float32(0.5 * q * dt / m)
+    one = vfloat(np.ones(width, dtype=np.float32))
+
+    main = (n // width) * width
+    for start in range(0, main, width):
+        # Transpose WIDTH structs into field registers. The struct is
+        # 8 floats; v4 ISAs need two 4x4 transposes per half-struct,
+        # emulated here by two load_tr calls over interleaved halves.
+        regs = _load_struct_registers(vfloat, aos, start, width)
+        x, y, z = regs["x"], regs["y"], regs["z"]
+        ux, uy, uz = regs["ux"], regs["uy"], regs["uz"]
+
+        ex, ey, ez, bx, by, bz = _gather_lane_fields(
+            gather_fn, x.v, y.v, z.v)
+        exv = vfloat(ex.astype(np.float32))
+        eyv = vfloat(ey.astype(np.float32))
+        ezv = vfloat(ez.astype(np.float32))
+        bxv = vfloat(bx.astype(np.float32))
+        byv = vfloat(by.astype(np.float32))
+        bzv = vfloat(bz.astype(np.float32))
+
+        # Half electric kick.
+        umx = ux + exv * qdt_2m
+        umy = uy + eyv * qdt_2m
+        umz = uz + ezv * qdt_2m
+
+        # gamma^-1 via the ISA's rsqrt (Newton-refined in hardware).
+        g2 = one + umx * umx + umy * umy + umz * umz
+        inv_gamma = g2.rsqrt()
+
+        tx = bxv * qdt_2m * inv_gamma
+        ty = byv * qdt_2m * inv_gamma
+        tz = bzv * qdt_2m * inv_gamma
+        t2 = tx * tx + ty * ty + tz * tz
+        denom = one + t2
+        sx = (tx + tx) / denom
+        sy = (ty + ty) / denom
+        sz = (tz + tz) / denom
+
+        upx = umx + (umy * tz - umz * ty)
+        upy = umy + (umz * tx - umx * tz)
+        upz = umz + (umx * ty - umy * tx)
+
+        ux_new = umx + (upy * sz - upz * sy) + exv * qdt_2m
+        uy_new = umy + (upz * sx - upx * sz) + eyv * qdt_2m
+        uz_new = umz + (upx * sy - upy * sx) + ezv * qdt_2m
+
+        # Position advance: v = u / gamma_new.
+        gn2 = one + ux_new * ux_new + uy_new * uy_new + uz_new * uz_new
+        inv_gn = gn2.rsqrt()
+        dtv = np.float32(dt)
+        x_new = x + ux_new * inv_gn * dtv
+        y_new = y + uy_new * inv_gn * dtv
+        z_new = z + uz_new * inv_gn * dtv
+
+        _store_struct_registers(aos, start, width, {
+            "x": x_new, "y": y_new, "z": z_new,
+            "ux": ux_new, "uy": uy_new, "uz": uz_new,
+            "w": regs["w"], "pad": regs["pad"],
+        })
+
+    # Scalar epilogue for the remainder, as VPIC 1.2's kernels do.
+    for i in range(main, n):
+        _advance_scalar(block, i, gather_fn, q, m, dt)
+
+    block.update_voxels()
+
+
+def _load_struct_registers(vfloat, aos: np.ndarray, start: int,
+                           width: int) -> dict:
+    """Gather WIDTH structs into one register per field via the
+    intrinsics classes' transpose members."""
+    regs: dict = {}
+    # load_tr pulls WIDTH structs of WIDTH floats; our structs are 8
+    # floats, so two transposes cover slots [0..width) and the rest
+    # comes from strided scalar loads when width < 8 (matching the
+    # v4 kernels' two-transpose structure).
+    names = list(FIELD_INDEX)
+    if width >= NFIELDS:
+        # One wide transpose covers the whole struct; extra register
+        # lanes beyond the struct span the next struct's fields and
+        # are unused (v8/v16 kernels mask them).
+        for slot, name in enumerate(names):
+            lanes = np.empty(width, dtype=np.float32)
+            for lane in range(width):
+                lanes[lane] = aos[(start + lane) * NFIELDS + slot]
+            regs[name] = vfloat(lanes)
+        return regs
+    fields = vfloat.load_tr(aos, start * NFIELDS, NFIELDS)
+    for slot in range(width):
+        regs[names[slot]] = fields[slot]
+    for slot in range(width, NFIELDS):
+        lanes = np.empty(width, dtype=np.float32)
+        for lane in range(width):
+            lanes[lane] = aos[(start + lane) * NFIELDS + slot]
+        regs[names[slot]] = vfloat(lanes)
+    return regs
+
+
+def _store_struct_registers(aos: np.ndarray, start: int, width: int,
+                            regs: dict) -> None:
+    """Scatter per-field registers back into AoS structs."""
+    for name, slot in FIELD_INDEX.items():
+        lanes = regs[name].v
+        for lane in range(width):
+            aos[(start + lane) * NFIELDS + slot] = lanes[lane]
+
+
+def _advance_scalar(block: ParticleBlock, i: int, gather_fn,
+                    q: float, m: float, dt: float) -> None:
+    """Scalar-path Boris push for one particle (the epilogue)."""
+    s = block.struct(i)
+    x = np.array([s[0]])
+    y = np.array([s[1]])
+    z = np.array([s[2]])
+    ex, ey, ez, bx, by, bz = gather_fn(x, y, z)
+    f32 = np.float32
+    qdt_2m = f32(0.5 * q * dt / m)
+    umx = s[3] + qdt_2m * f32(ex[0])
+    umy = s[4] + qdt_2m * f32(ey[0])
+    umz = s[5] + qdt_2m * f32(ez[0])
+    gamma = np.sqrt(f32(1.0) + umx * umx + umy * umy + umz * umz)
+    tx = qdt_2m * f32(bx[0]) / gamma
+    ty = qdt_2m * f32(by[0]) / gamma
+    tz = qdt_2m * f32(bz[0]) / gamma
+    t2 = tx * tx + ty * ty + tz * tz
+    sxr = f32(2.0) * tx / (f32(1.0) + t2)
+    syr = f32(2.0) * ty / (f32(1.0) + t2)
+    szr = f32(2.0) * tz / (f32(1.0) + t2)
+    upx = umx + (umy * tz - umz * ty)
+    upy = umy + (umz * tx - umx * tz)
+    upz = umz + (umx * ty - umy * tx)
+    ux = umx + (upy * szr - upz * syr) + qdt_2m * f32(ex[0])
+    uy = umy + (upz * sxr - upx * szr) + qdt_2m * f32(ey[0])
+    uz = umz + (upx * syr - upy * sxr) + qdt_2m * f32(ez[0])
+    gn = np.sqrt(f32(1.0) + ux * ux + uy * uy + uz * uz)
+    s[0] = s[0] + ux / gn * f32(dt)
+    s[1] = s[1] + uy / gn * f32(dt)
+    s[2] = s[2] + uz / gn * f32(dt)
+    s[3], s[4], s[5] = ux, uy, uz

@@ -1,0 +1,84 @@
+"""AoS particle storage in the VPIC 1.2 layout.
+
+VPIC 1.2 stores particles as interleaved 32-byte structs; the SIMD
+kernels rely on in-register transposes to pull one field across a
+block of particles. The struct layout here:
+
+``[x, y, z, ux, uy, uz, w, pad]`` — 8 float32 per particle (the pad
+slot mirrors VPIC's cell-index word; the cell index itself lives in a
+parallel int64 array because reinterpreting ints as floats adds
+nothing to the emulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+from repro.vpic.grid import Grid
+from repro.vpic.species import Species
+
+__all__ = ["ParticleBlock", "NFIELDS", "FIELD_INDEX"]
+
+#: Floats per particle struct.
+NFIELDS = 8
+#: Struct slot of each named field.
+FIELD_INDEX = {"x": 0, "y": 1, "z": 2, "ux": 3, "uy": 4, "uz": 5,
+               "w": 6, "pad": 7}
+
+
+class ParticleBlock:
+    """A block of particles in interleaved (AoS) storage."""
+
+    def __init__(self, n: int, grid: Grid):
+        check_positive("n", n)
+        self.n = n
+        self.grid = grid
+        self.aos = np.zeros(n * NFIELDS, dtype=np.float32)
+        self.voxel = np.zeros(n, dtype=np.int64)
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def from_species(cls, species: Species) -> "ParticleBlock":
+        """Pack a SoA species into the 1.2 layout."""
+        if species.n == 0:
+            raise ValueError("cannot pack an empty species")
+        block = cls(species.n, species.grid)
+        for name, slot in FIELD_INDEX.items():
+            if name == "pad":
+                continue
+            block.aos[slot::NFIELDS] = species.live(name)
+        block.voxel[:] = species.live("voxel")
+        return block
+
+    def to_species(self, species: Species) -> None:
+        """Write this block's state back into a SoA species."""
+        if species.n != self.n:
+            raise ValueError(
+                f"species holds {species.n} particles, block {self.n}")
+        for name, slot in FIELD_INDEX.items():
+            if name == "pad":
+                continue
+            species.live(name)[...] = self.aos[slot::NFIELDS]
+        species.live("voxel")[...] = self.voxel
+        species.update_voxels()
+
+    # -- field access ---------------------------------------------------------------
+
+    def field(self, name: str) -> np.ndarray:
+        """Strided view of one struct slot across all particles."""
+        return self.aos[FIELD_INDEX[name]::NFIELDS]
+
+    def struct(self, i: int) -> np.ndarray:
+        """One particle's 8-float struct."""
+        if not 0 <= i < self.n:
+            raise IndexError(f"particle {i} out of range [0, {self.n})")
+        return self.aos[i * NFIELDS:(i + 1) * NFIELDS]
+
+    def update_voxels(self) -> None:
+        self.voxel[:] = self.grid.voxel_of_position(
+            self.field("x"), self.field("y"), self.field("z"))
+
+    def __repr__(self) -> str:
+        return f"ParticleBlock(n={self.n})"

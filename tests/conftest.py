@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.machine.specs import cpu_platforms, get_platform, gpu_platforms
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[p.name for p in cpu_platforms()])
+def cpu_platform(request):
+    return get_platform(request.param)
+
+
+@pytest.fixture(params=[p.name for p in gpu_platforms()])
+def gpu_platform(request):
+    return get_platform(request.param)
+
+
+@pytest.fixture
+def spr():
+    """A representative x86 CPU (Sapphire Rapids DDR)."""
+    return get_platform("Platinum 8480")
+
+
+@pytest.fixture
+def a100():
+    return get_platform("A100")
+
+
+@pytest.fixture
+def small_deck():
+    from repro.vpic.workloads import uniform_plasma_deck
+    return uniform_plasma_deck(nx=6, ny=6, nz=6, ppc=4, uth=0.05,
+                               num_steps=5)

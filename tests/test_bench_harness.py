@@ -1,0 +1,273 @@
+"""Tests for the benchmark harness modules."""
+
+import numpy as np
+import pytest
+
+from repro.bench.gather_scatter import (KeyPattern, apply_ordering,
+                                        bandwidth_table, make_keys,
+                                        run_gather_scatter,
+                                        scaled_tile_size, stencil_trace)
+from repro.bench.push_bench import (collect_push_trace, fig4_strategy_speedups,
+                                    fig7_sort_runtimes, fig8_roofline_points,
+                                    push_trace_from_keys)
+from repro.bench.rajaperf import (FIG3_N, RAJAPERF_KERNELS,
+                                  fig3_normalized_runtimes, rajaperf_trace)
+from repro.bench.reporting import format_series, format_table
+from repro.bench.scaling_bench import FIG10_CONFIGS, fig9_series, fig10_series
+from repro.core.sorting import SortKind, is_strided_order
+from repro.machine.specs import get_platform
+from repro.perfmodel.kernel_cost import axpy_cost
+
+
+@pytest.fixture(scope="module")
+def push_keys():
+    # ppc=32 gives ~64 electrons per occupied slab cell — a full AMD
+    # wavefront of duplicates, matching full-scale contention.
+    return collect_push_trace(nx=16, ny=8, nz=8, ppc=32, warm_steps=2)
+
+
+class TestKeyPatterns:
+    def test_contiguous_is_sorted_unique(self):
+        keys, table = make_keys(KeyPattern.CONTIGUOUS, unique=100, reps=10)
+        assert keys.size == table == 1000
+        assert np.array_equal(keys, np.arange(1000))
+
+    def test_repeated_multiplicity(self):
+        keys, table = make_keys(KeyPattern.REPEATED, unique=50, reps=100)
+        assert table == 50
+        counts = np.bincount(keys)
+        assert np.all(counts == 100)
+
+    def test_deterministic_by_seed(self):
+        k1, _ = make_keys(KeyPattern.REPEATED, unique=20, seed=4)
+        k2, _ = make_keys(KeyPattern.REPEATED, unique=20, seed=4)
+        assert np.array_equal(k1, k2)
+
+
+class TestOrderings:
+    def test_apply_strided(self, a100):
+        keys, table = make_keys(KeyPattern.REPEATED, unique=100)
+        ordered = apply_ordering(SortKind.STRIDED, keys, a100, table)
+        assert is_strided_order(ordered)
+        assert not np.array_equal(ordered, keys)    # original untouched
+
+    def test_scaled_tile_cpu_is_thread_count(self, spr):
+        assert scaled_tile_size(spr, unique=10_000) == spr.core_count
+
+    def test_scaled_tile_gpu_shrinks_with_trace(self, a100):
+        small = scaled_tile_size(a100, unique=20_000)
+        full = scaled_tile_size(a100, unique=10_000_000)
+        assert small < full
+        assert small >= 2 * a100.warp_size
+
+
+class TestGatherScatterKernel:
+    def test_executable_kernel_correct(self, rng):
+        keys = rng.integers(0, 10, 100)
+        table = rng.random(10)
+        values = rng.random(100)
+        out = np.zeros(10)
+        run_gather_scatter(keys, table, values, out)
+        expect = np.zeros(10)
+        for k, v in zip(keys, values):
+            expect[k] += table[k] * v
+        np.testing.assert_allclose(out, expect, rtol=1e-12)
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_gather_scatter(np.zeros(3, np.int64), np.zeros(4),
+                               np.zeros(2), np.zeros(4))
+
+    def test_stencil_trace_has_five_passes(self):
+        keys = np.arange(100, dtype=np.int64)
+        t = stencil_trace(keys, 100, cache_scale=1.0)
+        assert t.gather_indices.size == 500
+        assert t.n_ops == 100
+
+
+class TestBandwidthTable:
+    def test_fig5b_shape_on_one_cpu(self, spr):
+        table = bandwidth_table([spr], KeyPattern.REPEATED, unique=4000)
+        row = table[spr.name]
+        bw = {k: p.effective_bandwidth_gbs for k, p in row.items()}
+        # Figure 5b: repeated keys collapse; tiled-strided recovers.
+        assert bw["standard"] < 0.2 * spr.stream_bw_gbs
+        assert bw["tiled-strided"] > bw["standard"]
+
+    def test_fig6b_shape_on_one_gpu(self, a100):
+        table = bandwidth_table([a100], KeyPattern.REPEATED, unique=4000)
+        bw = {k: p.effective_bandwidth_gbs
+              for k, p in table[a100.name].items()}
+        assert bw["strided"] > bw["standard"]
+        assert bw["tiled-strided"] > bw["strided"]
+
+    def test_contiguous_insensitive_to_sort(self, a100):
+        table = bandwidth_table([a100], KeyPattern.CONTIGUOUS, unique=2000)
+        bw = list(p.effective_bandwidth_gbs
+                  for p in table[a100.name].values())
+        assert max(bw) / min(bw) < 1.3
+
+
+class TestRajaperf:
+    def test_registry_names(self):
+        assert set(RAJAPERF_KERNELS) == {"AXPY", "PLANCKIAN", "PI_REDUCE"}
+
+    def test_trace_bytes(self):
+        t = rajaperf_trace(axpy_cost(), n=100)
+        assert t.streamed_bytes == 100 * 24
+
+    def test_fig3_axpy_flat_on_x86(self, spr):
+        data = fig3_normalized_runtimes([spr], n=FIG3_N)
+        axpy = data["AXPY"][spr.name]
+        assert axpy["auto"] == 1.0
+        assert abs(axpy["manual"] - 1.0) < 0.2
+
+    def test_fig3_a64fx_manual_slowdown(self):
+        # §5.3: "nearly twice as slow" on A64FX.
+        a64 = get_platform("A64FX")
+        data = fig3_normalized_runtimes([a64])
+        assert 1.5 < data["AXPY"][a64.name]["manual"] < 3.0
+
+    def test_fig3_pi_reduce_manual_wins_on_x86(self, spr):
+        data = fig3_normalized_runtimes([spr])
+        pi = data["PI_REDUCE"][spr.name]
+        assert pi["manual"] < 0.7          # at least ~40% faster
+        assert pi["guided"] == pytest.approx(1.0)   # §5.3: no help
+
+    def test_fig3_planckian_guided_gain(self):
+        # "up to 20%" somewhere in the CPU fleet.
+        from repro.machine.specs import cpu_platforms
+        data = fig3_normalized_runtimes(cpu_platforms())
+        gains = [1 - row["guided"] for row in data["PLANCKIAN"].values()]
+        assert max(gains) > 0.03
+        assert all(g > -0.05 for g in gains)   # never meaningfully worse
+
+
+class TestPushBench:
+    def test_trace_collection(self, push_keys):
+        keys, table = push_keys
+        assert keys.size > 0
+        assert keys.max() < table
+
+    def test_trace_from_keys(self, push_keys):
+        keys, table = push_keys
+        t = push_trace_from_keys(keys, table, atomic=True)
+        assert t.scatter_ops_per_element == 12
+        t2 = push_trace_from_keys(keys, table, atomic=False)
+        assert t2.scatter_ops_per_element == 1
+
+    def test_fig4_guided_beats_auto_everywhere(self, push_keys):
+        keys, table = push_keys
+        data = fig4_strategy_speedups(keys=keys, table_entries=table)
+        for plat, row in data.items():
+            assert row["guided"].seconds < row["auto"].seconds, plat
+
+    def test_fig4_manual_matches_adhoc_on_x86(self, push_keys):
+        keys, table = push_keys
+        spr = get_platform("Platinum 8480")
+        data = fig4_strategy_speedups([spr], keys, table)
+        row = data[spr.name]
+        ratio = row["manual"].seconds / row["ad hoc"].seconds
+        assert 0.8 < ratio < 1.25
+
+    def test_fig7_gpu_ordering(self, push_keys):
+        keys, table = push_keys
+        a100 = get_platform("A100")
+        data = fig7_sort_runtimes([a100], keys, table)
+        row = {k: v.seconds for k, v in data[a100.name].items()}
+        # Figure 7: strided > 2x faster than standard; tiled fastest.
+        assert row["standard"] > 2 * row["strided"]
+        assert row["tiled-strided"] <= row["strided"]
+
+    def test_fig7_amd_order_of_magnitude(self, push_keys):
+        keys, table = push_keys
+        mi = get_platform("MI250")
+        data = fig7_sort_runtimes([mi], keys, table)
+        row = {k: v.seconds for k, v in data[mi.name].items()}
+        assert row["standard"] > 10 * row["strided"]
+
+    def test_fig7_rejects_cpu(self, push_keys, spr):
+        keys, table = push_keys
+        with pytest.raises(ValueError):
+            fig7_sort_runtimes([spr], keys, table)
+
+    def test_fig8_roofline_shape(self, push_keys):
+        keys, table = push_keys
+        h100 = get_platform("H100")
+        model, points = fig8_roofline_points(h100, keys, table)
+        by_label = {p.label: p for p in points}
+        std = by_label["standard"]
+        strided = by_label["strided"]
+        tiled = by_label["tiled-strided"]
+        # Figure 8a: strided drops AI, tiled restores it and lifts
+        # throughput far above standard.
+        assert strided.arithmetic_intensity < std.arithmetic_intensity
+        assert tiled.arithmetic_intensity > strided.arithmetic_intensity
+        assert tiled.gflops > 3 * std.gflops
+        assert model.utilization(std) < 0.05
+
+
+class TestScalingBench:
+    def test_fig9_series_keys(self):
+        data = fig9_series(("A100",), points_per_decade=3)
+        grids, rates, peak = data["A100"]
+        assert grids.size == rates.size
+        assert peak > 0
+
+    def test_fig10_configs_cover_systems(self):
+        assert set(FIG10_CONFIGS) == {"Sierra", "Selene", "Tuolumne"}
+
+    def test_fig10_series_runs(self):
+        system, points, sp = fig10_series("Sierra")
+        assert len(points) == len(FIG10_CONFIGS["Sierra"]["counts"])
+        assert sp[0] == 1.0
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table({"r1": {"a": 1.0, "b": 2.0}}, title="T")
+        assert "T" in out and "r1" in out and "2.00" in out
+
+    def test_format_table_missing_cell(self):
+        out = format_table({"r": {"a": 1.0}}, col_order=["a", "b"])
+        assert "-" in out
+
+    def test_format_table_empty(self):
+        assert "empty" in format_table({})
+
+    def test_format_series(self):
+        out = format_series([1, 2], [3.0, 4.0], "x", "y")
+        assert "x" in out and "4" in out
+
+    def test_format_series_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1, 2])
+
+
+class TestRunnerSections:
+    def test_fig1_section(self):
+        from repro.bench.runner import section_fig1
+        out = section_fig1()
+        assert "57" in out and "128-bit" in out
+
+    def test_fig9_section(self):
+        from repro.bench.runner import section_fig9
+        out = section_fig9()
+        assert "V100S" in out and "pushes/ns" in out
+
+    def test_fig10_section(self):
+        from repro.bench.runner import section_fig10
+        out = section_fig10()
+        assert "Selene" in out and "x" in out
+
+    def test_fig4_section_uses_given_trace(self, push_keys):
+        from repro.bench.runner import section_fig4
+        keys, table = push_keys
+        out = section_fig4(keys, table)
+        assert "guided" in out and "MI300A (CPU)" in out
+
+    def test_fig7_section(self, push_keys):
+        from repro.bench.runner import section_fig7
+        keys, table = push_keys
+        out = section_fig7(keys, table)
+        assert "tiled-strided" in out

@@ -1,0 +1,206 @@
+"""Tests for the paper's sorting algorithms (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sorting import (SortKind, apply_sort, is_strided_order,
+                                is_tiled_strided_order, monotone_run_lengths,
+                                random_order, standard_sort, strided_keys,
+                                strided_sort, tiled_strided_keys,
+                                tiled_strided_sort)
+
+
+def paper_example_keys():
+    """Keys similar to Figure 2's worked example."""
+    return np.array([2, 0, 1, 0, 2, 1, 0, 2, 1, 0], dtype=np.int64)
+
+
+def random_keys(n=500, unique=17, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, unique, n).astype(np.int64)
+
+
+class TestStridedKeys:
+    def test_unique_rewritten_keys(self):
+        new = strided_keys(random_keys())
+        assert np.unique(new).size == new.size
+
+    def test_occurrence_offset_formula(self):
+        keys = np.array([5, 5, 7], dtype=np.int64)
+        new = strided_keys(keys)
+        # min 5, range 3: first 5 -> 0, second 5 -> 0 + 1*3, 7 -> 2.
+        assert np.array_equal(new, [0, 3, 2])
+
+    def test_empty(self):
+        assert strided_keys(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_rejects_float_keys(self):
+        with pytest.raises(TypeError):
+            strided_keys(np.array([1.5, 2.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            strided_keys(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestStridedSort:
+    def test_produces_strided_order(self):
+        k = random_keys()
+        strided_sort(k)
+        assert is_strided_order(k)
+
+    def test_is_permutation(self):
+        orig = random_keys()
+        k = orig.copy()
+        v = np.arange(k.size)
+        strided_sort(k, v)
+        assert np.array_equal(np.sort(k), np.sort(orig))
+        # values follow their keys
+        assert np.array_equal(orig[v], k)
+
+    def test_first_round_is_all_unique_keys(self):
+        k = paper_example_keys()
+        strided_sort(k)
+        runs = monotone_run_lengths(k)
+        assert runs[0] == 3              # keys {0,1,2}
+        assert np.array_equal(k[:3], [0, 1, 2])
+
+    def test_round_count_is_max_multiplicity(self):
+        k = paper_example_keys()         # 0 appears 4x
+        strided_sort(k)
+        assert len(monotone_run_lengths(k)) == 4
+
+    def test_single_key(self):
+        k = np.full(5, 3, dtype=np.int64)
+        strided_sort(k)
+        assert np.all(k == 3)
+        assert is_strided_order(k)
+
+    def test_negative_keys_supported(self):
+        k = np.array([-3, -1, -3, -2], dtype=np.int64)
+        strided_sort(k)
+        assert is_strided_order(k)
+        assert np.array_equal(np.sort(k), [-3, -3, -2, -1])
+
+
+class TestTiledStridedKeys:
+    def test_unique_rewritten_keys(self):
+        new = tiled_strided_keys(random_keys(), tile_size=4)
+        assert np.unique(new).size == new.size
+
+    def test_requires_positive_tile(self):
+        with pytest.raises(ValueError):
+            tiled_strided_keys(random_keys(), tile_size=0)
+
+    def test_chunk_major_order(self):
+        k = random_keys(unique=20)
+        tiled_strided_sort(k, tile_size=5)
+        chunks = k // 5
+        assert np.all(np.diff(chunks) >= 0)
+
+
+class TestTiledStridedSort:
+    @pytest.mark.parametrize("tile", [1, 3, 4, 7, 17, 100])
+    def test_produces_tiled_order(self, tile):
+        k = random_keys()
+        tiled_strided_sort(k, tile_size=tile)
+        assert is_tiled_strided_order(k, tile)
+
+    def test_is_permutation_with_values(self):
+        orig = random_keys()
+        k = orig.copy()
+        v = np.arange(k.size)
+        tiled_strided_sort(k, v, tile_size=4)
+        assert np.array_equal(np.sort(k), np.sort(orig))
+        assert np.array_equal(orig[v], k)
+
+    def test_tile_of_one_equals_standard(self):
+        k1 = random_keys()
+        k2 = k1.copy()
+        tiled_strided_sort(k1, tile_size=1)
+        standard_sort(k2)
+        assert np.array_equal(k1, k2)
+
+    def test_tile_covering_all_keys_equals_strided(self):
+        k1 = random_keys(unique=10)
+        k2 = k1.copy()
+        tiled_strided_sort(k1, tile_size=10)
+        strided_sort(k2)
+        assert np.array_equal(k1, k2)
+
+    def test_each_tile_within_chunk_range(self):
+        k = random_keys(unique=12)
+        tile = 4
+        tiled_strided_sort(k, tile_size=tile)
+        chunks = k // tile
+        # within a chunk, each strictly-increasing tile spans only
+        # that chunk's cells
+        boundaries = np.nonzero(np.diff(chunks))[0] + 1
+        for seg in np.split(k, boundaries):
+            assert seg.max() - seg.min() < tile
+
+
+class TestStandardAndRandom:
+    def test_standard_is_ascending(self):
+        k = random_keys()
+        standard_sort(k)
+        assert np.all(np.diff(k) >= 0)
+
+    def test_random_order_is_permutation(self):
+        orig = random_keys()
+        k = orig.copy()
+        random_order(k, seed=1)
+        assert np.array_equal(np.sort(k), np.sort(orig))
+
+    def test_random_order_deterministic_by_seed(self):
+        k1 = random_keys()
+        k2 = k1.copy()
+        random_order(k1, seed=9)
+        random_order(k2, seed=9)
+        assert np.array_equal(k1, k2)
+
+
+class TestApplySort:
+    def test_dispatch_all_kinds(self):
+        for kind in (SortKind.RANDOM, SortKind.STANDARD, SortKind.STRIDED):
+            k = random_keys()
+            perm = apply_sort(kind, k)
+            assert perm is not None
+
+    def test_none_is_noop(self):
+        k = random_keys()
+        orig = k.copy()
+        assert apply_sort(SortKind.NONE, k) is None
+        assert np.array_equal(k, orig)
+
+    def test_tiled_requires_tile_size(self):
+        with pytest.raises(ValueError, match="tile_size"):
+            apply_sort(SortKind.TILED_STRIDED, random_keys())
+
+    def test_tiled_with_tile_size(self):
+        k = random_keys()
+        apply_sort(SortKind.TILED_STRIDED, k, tile_size=4)
+        assert is_tiled_strided_order(k, 4)
+
+
+class TestOrderInspectors:
+    def test_run_lengths(self):
+        assert np.array_equal(
+            monotone_run_lengths(np.array([1, 2, 3, 1, 2, 1])), [3, 2, 1])
+
+    def test_run_lengths_empty(self):
+        assert monotone_run_lengths(np.zeros(0)).size == 0
+
+    def test_standard_sorted_not_strided_with_dups(self):
+        k = np.array([0, 0, 1, 1], dtype=np.int64)
+        # ascending with duplicates: runs [0,0] boundaries -> runs
+        # [1(0),2(0,1),1(1)]... growing run violates strided.
+        assert not is_strided_order(k)
+
+    def test_strided_accepts_trivial(self):
+        assert is_strided_order(np.array([3], dtype=np.int64))
+        assert is_strided_order(np.zeros(0, dtype=np.int64))
+
+    def test_tiled_inspector_rejects_interleaved_chunks(self):
+        k = np.array([0, 4, 0, 4], dtype=np.int64)
+        assert not is_tiled_strided_order(k, 2)

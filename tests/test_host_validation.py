@@ -1,0 +1,116 @@
+"""Model-vs-hardware validation on the host machine.
+
+The figure benches run the performance model for Table-1 platforms we
+don't have. This suite closes the loop on hardware we *do* have: it
+times real numpy kernels on this machine and checks the model's
+qualitative predictions (which pattern is faster, where locality
+helps) against actual wall clock. Thresholds are deliberately coarse
+— CI machines are noisy — but the *orderings* asserted here are the
+same mechanisms the figures rely on.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.machine.host import host_platform
+from repro.perfmodel import (gather_scatter_cost, gather_scatter_trace,
+                             predict_time)
+
+
+def best_time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def host():
+    return host_platform()
+
+
+class TestGatherLocality:
+    """Sequential vs random gathers: the cache mechanism behind
+    Figures 5/6."""
+
+    N = 4_000_000
+
+    def test_sequential_gather_faster_than_random(self):
+        table = np.random.default_rng(0).random(self.N)
+        seq = np.arange(self.N, dtype=np.int64)
+        rand = np.random.default_rng(1).permutation(self.N)
+        t_seq = best_time(lambda: table[seq])
+        t_rand = best_time(lambda: table[rand])
+        assert t_rand > 1.15 * t_seq
+
+    def test_small_table_random_gather_faster_than_large(self):
+        """Cache-resident tables absorb random gathers — the tiled
+        sort's working-set mechanism."""
+        rng = np.random.default_rng(2)
+        small_table = rng.random(50_000)            # ~400 KB, cached
+        large_table = rng.random(64_000_000)        # ~512 MB, DRAM
+        idx_small = rng.integers(0, small_table.size, self.N)
+        idx_large = rng.integers(0, large_table.size, self.N)
+        t_small = best_time(lambda: small_table[idx_small])
+        t_large = best_time(lambda: large_table[idx_large])
+        assert t_large > 1.3 * t_small
+
+    def test_model_predicts_the_same_ordering(self, host):
+        """The host-platform model agrees: random misses cost more."""
+        cost = gather_scatter_cost()
+        n = 500_000
+        seq_trace = gather_scatter_trace(
+            np.arange(n, dtype=np.int64), n, atomic=False)
+        rand_trace = gather_scatter_trace(
+            np.random.default_rng(0).permutation(n), n, atomic=False)
+        t_seq = predict_time(host, seq_trace, cost).seconds
+        t_rand = predict_time(host, rand_trace, cost).seconds
+        assert t_rand > t_seq
+
+
+class TestSortedScatterWallclock:
+    """Sorting accelerates real scatter-accumulate on this host (the
+    cache half of the paper's §3.2 claim; numpy's add.at is serial,
+    so the atomic-contention half is not observable here)."""
+
+    def test_sorted_scatter_not_slower(self):
+        rng = np.random.default_rng(3)
+        n, uniques = 2_000_000, 2_000_000
+        keys = rng.integers(0, uniques, n)
+        out = np.zeros(uniques)
+        vals = rng.random(n)
+        t_random = best_time(lambda: np.add.at(out, keys, vals), repeats=2)
+        skeys = np.sort(keys)
+        t_sorted = best_time(lambda: np.add.at(out, skeys, vals), repeats=2)
+        # Sorted scatter should never be meaningfully slower.
+        assert t_sorted < 1.3 * t_random
+
+    def test_bincount_equivalence(self):
+        """The standard-sort fast path: contiguous same-key runs can
+        be reduced with segment sums — verify numerics match."""
+        rng = np.random.default_rng(4)
+        keys = np.sort(rng.integers(0, 1000, 100_000))
+        vals = rng.random(100_000)
+        out = np.zeros(1000)
+        np.add.at(out, keys, vals)
+        via_bincount = np.bincount(keys, weights=vals, minlength=1000)
+        np.testing.assert_allclose(out, via_bincount, rtol=1e-12)
+
+
+class TestStreamScaling:
+    def test_triad_time_scales_linearly(self):
+        """DRAM-resident triad time is linear in N (the STREAM
+        assumption every bandwidth model rests on)."""
+        rng = np.random.default_rng(5)
+        def triad(n):
+            b = rng.random(n)
+            c = rng.random(n)
+            a = np.empty_like(b)
+            return best_time(lambda: np.add(b, 3.0 * c, out=a))
+        t1 = triad(8_000_000)
+        t2 = triad(16_000_000)
+        assert 1.4 < t2 / t1 < 3.2

@@ -1,0 +1,175 @@
+"""Tests for kokkos atomics and sorting primitives."""
+
+import numpy as np
+import pytest
+
+from repro.kokkos.atomics import (atomic_add, atomic_counters,
+                                  atomic_fetch_add, atomic_max, atomic_min,
+                                  atomic_sub, collect_atomics,
+                                  reset_atomic_counters)
+from repro.kokkos.sort import BinSort, argsort_stable, sort_by_key
+from repro.kokkos.view import View
+
+
+class TestAtomicAdd:
+    def test_duplicates_accumulate(self):
+        a = np.zeros(4)
+        atomic_add(a, np.array([1, 1, 1, 2]), 1.0)
+        assert a[1] == 3.0
+        assert a[2] == 1.0
+
+    def test_per_lane_values(self):
+        a = np.zeros(3)
+        atomic_add(a, np.array([0, 0, 2]), np.array([1.0, 2.0, 5.0]))
+        assert a[0] == 3.0
+        assert a[2] == 5.0
+
+    def test_on_view(self):
+        v = View("acc", (4,))
+        atomic_add(v, np.array([0, 0]), 2.0)
+        assert v[0] == 4.0
+
+    def test_sub_min_max(self):
+        a = np.full(3, 10.0)
+        atomic_sub(a, np.array([0, 0]), 1.0)
+        assert a[0] == 8.0
+        atomic_min(a, np.array([1, 1]), np.array([5.0, 3.0]))
+        assert a[1] == 3.0
+        atomic_max(a, np.array([2]), np.array([99.0]))
+        assert a[2] == 99.0
+
+
+class TestAtomicFetchAdd:
+    def test_unique_indices(self):
+        a = np.zeros(4, dtype=np.int64)
+        fetched = atomic_fetch_add(a, np.array([0, 1, 2]), 1)
+        assert np.array_equal(fetched, [0, 0, 0])
+        assert np.array_equal(a[:3], [1, 1, 1])
+
+    def test_duplicates_serialize_in_lane_order(self):
+        a = np.zeros(2, dtype=np.int64)
+        fetched = atomic_fetch_add(a, np.array([0, 0, 0, 1, 0]), 1)
+        assert np.array_equal(fetched, [0, 1, 2, 0, 3])
+        assert a[0] == 4
+
+    def test_nonzero_initial(self):
+        a = np.array([10, 0], dtype=np.int64)
+        fetched = atomic_fetch_add(a, np.array([0, 0]), 1)
+        assert np.array_equal(fetched, [10, 11])
+
+    def test_increment_other_than_one(self):
+        a = np.zeros(1, dtype=np.int64)
+        fetched = atomic_fetch_add(a, np.array([0, 0]), 5)
+        assert np.array_equal(fetched, [0, 5])
+        assert a[0] == 10
+
+    def test_per_lane_values_path(self):
+        a = np.zeros(2, dtype=np.int64)
+        fetched = atomic_fetch_add(a, np.array([0, 0, 1]),
+                                   np.array([2, 3, 7]))
+        assert np.array_equal(fetched, [0, 2, 0])
+        assert a[0] == 5 and a[1] == 7
+
+    def test_matches_sequential_reference(self):
+        rng = np.random.default_rng(7)
+        idx = rng.integers(0, 10, 200)
+        a = np.zeros(10, dtype=np.int64)
+        fetched = atomic_fetch_add(a, idx, 1)
+        ref = np.zeros(10, dtype=np.int64)
+        ref_fetched = np.empty(200, dtype=np.int64)
+        for lane, i in enumerate(idx):
+            ref_fetched[lane] = ref[i]
+            ref[i] += 1
+        assert np.array_equal(fetched, ref_fetched)
+        assert np.array_equal(a, ref)
+
+
+class TestAtomicCounters:
+    def test_accounting_only_inside_context(self):
+        reset_atomic_counters()
+        a = np.zeros(4)
+        atomic_add(a, np.array([0, 0]), 1.0)
+        assert atomic_counters().operations == 0
+        with collect_atomics() as counters:
+            atomic_add(a, np.array([0, 0, 1]), 1.0)
+        assert counters.operations == 3
+        assert counters.conflicts == 1
+        assert counters.distinct_targets == 2
+        assert 0 < counters.conflict_fraction < 1
+
+
+class TestSortByKey:
+    def test_sorts_keys_and_values(self):
+        k = np.array([3, 1, 2])
+        v = np.array([30.0, 10.0, 20.0])
+        sort_by_key(k, v)
+        assert np.array_equal(k, [1, 2, 3])
+        assert np.array_equal(v, [10.0, 20.0, 30.0])
+
+    def test_stability(self):
+        k = np.array([1, 0, 1, 0])
+        v = np.array([0, 1, 2, 3])
+        sort_by_key(k, v)
+        assert np.array_equal(v, [1, 3, 0, 2])
+
+    def test_multiple_value_arrays(self):
+        k = np.array([2, 1])
+        v1 = np.array([20, 10])
+        v2 = np.array([200.0, 100.0])
+        sort_by_key(k, v1, v2)
+        assert np.array_equal(v1, [10, 20])
+        assert np.array_equal(v2, [100.0, 200.0])
+
+    def test_out_of_place(self):
+        k = np.array([2, 1])
+        v = np.array([20, 10])
+        ks, vs, perm = sort_by_key(k, v, in_place=False)
+        assert np.array_equal(k, [2, 1])          # untouched
+        assert np.array_equal(ks, [1, 2])
+        assert np.array_equal(vs, [10, 20])
+        assert np.array_equal(perm, [1, 0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            sort_by_key(np.array([1, 2]), np.array([1.0]))
+
+    def test_2d_keys_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            sort_by_key(np.zeros((2, 2)))
+
+    def test_argsort_stable(self):
+        perm = argsort_stable(np.array([1, 0, 1, 0]))
+        assert np.array_equal(perm, [1, 3, 0, 2])
+
+
+class TestBinSort:
+    def test_basic_sort(self):
+        bs = BinSort(nbins=4)
+        k = np.array([3, 0, 2, 0])
+        v = np.array([30, 0, 20, 1])
+        bs.sort(k, v)
+        assert np.array_equal(k, [0, 0, 2, 3])
+        assert np.array_equal(v, [0, 1, 20, 30])
+
+    def test_bin_counts_and_offsets(self):
+        bs = BinSort(nbins=3)
+        bs.create_permute_vector(np.array([2, 0, 2, 2]))
+        assert np.array_equal(bs.bin_counts, [1, 0, 3])
+        assert np.array_equal(bs.bin_offsets, [0, 1, 1, 4])
+
+    def test_max_bin_occupancy(self):
+        bs = BinSort(nbins=3)
+        bs.create_permute_vector(np.array([2, 0, 2, 2]))
+        assert bs.max_bin_occupancy() == 3
+
+    def test_occupancy_before_sort_raises(self):
+        with pytest.raises(RuntimeError):
+            BinSort(4).max_bin_occupancy()
+
+    def test_out_of_range_keys_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            BinSort(2).create_permute_vector(np.array([0, 2]))
+
+    def test_bad_nbins(self):
+        with pytest.raises(ValueError):
+            BinSort(0)

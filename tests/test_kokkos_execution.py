@@ -1,0 +1,153 @@
+"""Tests for execution spaces and policies."""
+
+import numpy as np
+import pytest
+
+from repro.kokkos.execution import (CudaSim, HIPSim, OpenMP, Serial,
+                                    space_for_platform)
+from repro.kokkos.policy import MDRangePolicy, RangePolicy, TeamPolicy
+from repro.machine.specs import get_platform
+
+
+def _covers(batches, begin, end):
+    got = np.concatenate(batches) if batches else np.zeros(0, dtype=np.int64)
+    return np.array_equal(got, np.arange(begin, end))
+
+
+class TestSerial:
+    def test_one_batch(self):
+        s = Serial()
+        batches = s.batches(0, 10)
+        assert len(batches) == 1
+        assert _covers(batches, 0, 10)
+
+    def test_empty_range(self):
+        assert Serial().batches(5, 5) == []
+
+    def test_concurrency(self):
+        assert Serial().concurrency == 1
+        assert Serial().group_size == 1
+
+
+class TestOpenMP:
+    def test_batches_cover_range_in_order(self):
+        s = OpenMP(4)
+        assert _covers(s.batches(3, 103), 3, 103)
+
+    def test_chunk_count_matches_threads(self):
+        assert len(OpenMP(8).batches(0, 100)) == 8
+
+    def test_small_range_fewer_chunks(self):
+        batches = OpenMP(16).batches(0, 5)
+        assert len(batches) <= 5
+        assert _covers(batches, 0, 5)
+
+    def test_chunks_are_balanced(self):
+        sizes = [len(b) for b in OpenMP(7).batches(0, 100)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            OpenMP(0)
+
+    def test_group_size_from_platform(self):
+        spr = get_platform("Platinum 8480")
+        s = OpenMP(4, platform=spr)
+        assert s.group_size == 16  # AVX-512 f32 lanes
+
+
+class TestSimtSpaces:
+    def test_cuda_warp_aligned(self):
+        s = CudaSim()
+        for b in s.batches(0, 1000):
+            assert len(b) % 32 == 0 or b[-1] == 999
+
+    def test_covers_range(self):
+        assert _covers(CudaSim().batches(0, 333), 0, 333)
+        assert _covers(HIPSim().batches(0, 777), 0, 777)
+
+    def test_batch_cap(self):
+        s = CudaSim(max_batches=10)
+        assert len(s.batches(0, 100_000)) <= 10
+
+    def test_hip_wavefront_width(self):
+        mi = get_platform("MI250")
+        s = HIPSim(platform=mi)
+        assert s.group_size == 64
+
+    def test_concurrency_scales_with_cores(self):
+        a100 = get_platform("A100")
+        s = CudaSim(platform=a100)
+        assert s.concurrency == a100.core_count // 32
+
+
+class TestSpaceForPlatform:
+    def test_cpu_gets_openmp(self):
+        s = space_for_platform(get_platform("EPYC 7763"))
+        assert isinstance(s, OpenMP)
+        assert s.num_threads == 128
+
+    def test_nvidia_gets_cuda(self):
+        assert isinstance(space_for_platform(get_platform("H100")), CudaSim)
+
+    def test_amd_gets_hip(self):
+        assert isinstance(space_for_platform(get_platform("MI100")), HIPSim)
+
+
+class TestRangePolicy:
+    def test_of_shorthand(self):
+        p = RangePolicy.of(10)
+        assert (p.begin, p.end, p.size) == (0, 10, 10)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            RangePolicy(5, 3)
+
+    def test_uses_given_space(self):
+        p = RangePolicy(0, 10, space=Serial())
+        assert len(list(p.batches())) == 1
+
+
+class TestMDRangePolicy:
+    def test_size_and_shape(self):
+        p = MDRangePolicy((0, 0), (3, 4))
+        assert p.shape == (3, 4)
+        assert p.size == 12
+
+    def test_unflatten_roundtrip(self):
+        p = MDRangePolicy((1, 2), (4, 6), space=Serial())
+        flat = next(iter(p.batches()))
+        i, j = p.unflatten(flat)
+        assert i.min() == 1 and i.max() == 3
+        assert j.min() == 2 and j.max() == 5
+        assert len(flat) == p.size
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            MDRangePolicy((0,), (2, 2))
+
+    def test_rejects_negative_box(self):
+        with pytest.raises(ValueError):
+            MDRangePolicy((2, 2), (1, 3))
+
+
+class TestTeamPolicy:
+    def test_members_have_consecutive_lanes(self):
+        p = TeamPolicy(league_size=3, team_size=4, space=Serial())
+        members = list(p.members())
+        assert len(members) == 3
+        assert np.array_equal(members[1].lanes, np.arange(4, 8))
+
+    def test_auto_team_size_resolves(self):
+        p = TeamPolicy(league_size=2, space=Serial())
+        assert p.resolve_team_size() == 1
+
+    def test_work_partitioning(self):
+        p = TeamPolicy(league_size=4, team_size=2, space=Serial())
+        members = list(p.members(total_work=10))
+        total = np.concatenate([m.lanes for m in members])
+        assert np.array_equal(total, np.arange(10))
+
+    def test_rejects_bad_league(self):
+        with pytest.raises(ValueError):
+            TeamPolicy(league_size=0)

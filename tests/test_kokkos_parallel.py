@@ -1,0 +1,129 @@
+"""Tests for parallel_for / parallel_reduce / parallel_scan and reducers."""
+
+import numpy as np
+import pytest
+
+from repro.kokkos.core import scoped_runtime
+from repro.kokkos.execution import OpenMP, Serial
+from repro.kokkos.parallel import parallel_for, parallel_reduce, parallel_scan
+from repro.kokkos.policy import MDRangePolicy, RangePolicy, TeamPolicy
+from repro.kokkos.reducers import Max, Min, MinMax, Prod, Sum
+
+
+class TestParallelFor:
+    def test_int_policy(self):
+        out = np.zeros(100)
+
+        def kern(idx):
+            out[idx] = idx * 2
+
+        parallel_for(100, kern)
+        assert np.array_equal(out, np.arange(100) * 2)
+
+    def test_range_policy_with_space(self):
+        out = np.zeros(50)
+        parallel_for(RangePolicy(10, 50, space=OpenMP(4)),
+                     lambda idx: out.__setitem__(idx, 1))
+        assert out[:10].sum() == 0
+        assert out[10:].sum() == 40
+
+    def test_mdrange(self):
+        out = np.zeros((4, 5))
+        policy = MDRangePolicy((0, 0), (4, 5), space=Serial())
+
+        def kern(i, j):
+            out[i, j] = i * 10 + j
+
+        parallel_for(policy, kern)
+        expect = np.arange(4)[:, None] * 10 + np.arange(5)[None, :]
+        assert np.array_equal(out, expect)
+
+    def test_team_policy(self):
+        seen = []
+        parallel_for(TeamPolicy(3, 2, space=Serial()),
+                     lambda m: seen.append(m.league_rank))
+        assert seen == [0, 1, 2]
+
+    def test_rejects_bad_policy_type(self):
+        with pytest.raises(TypeError):
+            parallel_for("nope", lambda i: None)
+
+    def test_batches_in_default_runtime(self):
+        with scoped_runtime(num_threads=4):
+            out = np.zeros(64)
+            parallel_for(64, lambda idx: out.__setitem__(idx, 1))
+            assert out.sum() == 64
+
+
+class TestParallelReduce:
+    def test_sum_matches_numpy(self):
+        total = parallel_reduce(
+            RangePolicy.of(1000, Serial()),
+            lambda idx: (idx * 0.5))
+        assert total == pytest.approx(np.arange(1000).sum() * 0.5)
+
+    def test_scalar_partials(self):
+        total = parallel_reduce(
+            RangePolicy.of(100, OpenMP(8)),
+            lambda idx: float(idx.sum()))
+        assert total == pytest.approx(4950.0)
+
+    def test_min_reducer(self):
+        data = np.array([5.0, -3.0, 7.0, 0.0])
+        result = parallel_reduce(RangePolicy.of(4, OpenMP(2)),
+                                 lambda idx: data[idx], reducer=Min)
+        assert result == -3.0
+
+    def test_max_reducer(self):
+        data = np.array([5.0, -3.0, 7.0, 0.0])
+        result = parallel_reduce(RangePolicy.of(4, OpenMP(2)),
+                                 lambda idx: data[idx], reducer=Max)
+        assert result == 7.0
+
+    def test_prod_reducer(self):
+        result = parallel_reduce(RangePolicy.of(4, Serial()),
+                                 lambda idx: np.asarray(idx + 1, dtype=float),
+                                 reducer=Prod)
+        assert result == pytest.approx(24.0)
+
+    def test_minmax_reducer(self):
+        data = np.array([5.0, -3.0, 7.0, 0.0])
+        lo, hi = parallel_reduce(RangePolicy.of(4, OpenMP(3)),
+                                 lambda idx: data[idx], reducer=MinMax)
+        assert (lo, hi) == (-3.0, 7.0)
+
+    def test_empty_batches_skipped(self):
+        result = parallel_reduce(RangePolicy.of(3, OpenMP(8)),
+                                 lambda idx: np.asarray(idx, dtype=float))
+        assert result == pytest.approx(3.0)
+
+    def test_deterministic_join_order(self):
+        a = parallel_reduce(RangePolicy.of(10_000, OpenMP(7)),
+                            lambda idx: np.sin(idx * 0.001))
+        b = parallel_reduce(RangePolicy.of(10_000, OpenMP(7)),
+                            lambda idx: np.sin(idx * 0.001))
+        assert a == b
+
+
+class TestParallelScan:
+    def test_exclusive_scan(self):
+        values = np.array([3, 1, 4, 1, 5])
+        scan, total = parallel_scan(RangePolicy.of(5, Serial()), values)
+        assert np.array_equal(scan, [0, 3, 4, 8, 9])
+        assert total == 14
+
+    def test_float_scan(self):
+        values = np.full(10, 0.5)
+        scan, total = parallel_scan(RangePolicy.of(10, Serial()), values)
+        assert total == pytest.approx(5.0)
+        assert scan[-1] == pytest.approx(4.5)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            parallel_scan(RangePolicy.of(3, Serial()), np.zeros(4))
+
+    def test_scan_is_binsort_offset(self):
+        counts = np.array([2, 0, 3, 1])
+        scan, total = parallel_scan(RangePolicy.of(4, Serial()), counts)
+        assert np.array_equal(scan, [0, 2, 2, 5])
+        assert total == 6

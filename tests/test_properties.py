@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Sorting algorithms must be permutations with the claimed order
+structure for *any* integer key distribution; the fetch-add primitive
+must match sequential semantics; cache/coalescing models must respect
+basic monotonicity; pack arithmetic must match numpy lane-wise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.sorting import (is_strided_order, is_tiled_strided_order,
+                                monotone_run_lengths, strided_keys,
+                                strided_sort, tiled_strided_keys,
+                                tiled_strided_sort)
+from repro.kokkos.atomics import atomic_fetch_add
+from repro.machine.atomics_model import conflict_slots
+from repro.machine.cache import stack_distance_hit_rate
+from repro.machine.coalescing import count_transactions
+from repro.simd.packs import Mask, Pack
+
+key_arrays = arrays(np.int64, st.integers(1, 300),
+                    elements=st.integers(0, 50))
+small_keys = arrays(np.int64, st.integers(1, 200),
+                    elements=st.integers(0, 30))
+
+
+class TestSortingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_arrays)
+    def test_strided_sort_is_permutation(self, keys):
+        k = keys.copy()
+        strided_sort(k)
+        assert np.array_equal(np.sort(k), np.sort(keys))
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_arrays)
+    def test_strided_order_structure(self, keys):
+        k = keys.copy()
+        strided_sort(k)
+        assert is_strided_order(k)
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_arrays)
+    def test_strided_rewritten_keys_unique(self, keys):
+        new = strided_keys(keys)
+        assert np.unique(new).size == new.size
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=key_arrays)
+    def test_strided_round_count_is_max_multiplicity(self, keys):
+        k = keys.copy()
+        strided_sort(k)
+        runs = monotone_run_lengths(k)
+        max_mult = np.bincount(keys).max()
+        assert len(runs) == max_mult
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=small_keys, tile=st.integers(1, 40))
+    def test_tiled_sort_is_permutation(self, keys, tile):
+        k = keys.copy()
+        tiled_strided_sort(k, tile_size=tile)
+        assert np.array_equal(np.sort(k), np.sort(keys))
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=small_keys, tile=st.integers(1, 40))
+    def test_tiled_order_structure(self, keys, tile):
+        k = keys.copy()
+        tiled_strided_sort(k, tile_size=tile)
+        assert is_tiled_strided_order(k, tile)
+
+    @settings(max_examples=60, deadline=None)
+    @given(keys=small_keys, tile=st.integers(1, 40))
+    def test_tiled_rewritten_keys_unique(self, keys, tile):
+        new = tiled_strided_keys(keys, tile)
+        assert np.unique(new).size == new.size
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=small_keys)
+    def test_sorting_values_follow_keys(self, keys):
+        values = np.arange(keys.size, dtype=np.float64)
+        k = keys.copy()
+        strided_sort(k, values)
+        assert np.array_equal(keys[values.astype(np.int64)], k)
+
+
+class TestFetchAddProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(idx=arrays(np.int64, st.integers(1, 200),
+                      elements=st.integers(0, 20)))
+    def test_matches_sequential_execution(self, idx):
+        counters = np.zeros(21, dtype=np.int64)
+        fetched = atomic_fetch_add(counters, idx, 1)
+        ref = np.zeros(21, dtype=np.int64)
+        ref_f = np.empty(idx.size, dtype=np.int64)
+        for lane, i in enumerate(idx):
+            ref_f[lane] = ref[i]
+            ref[i] += 1
+        assert np.array_equal(fetched, ref_f)
+        assert np.array_equal(counters, ref)
+
+    @settings(max_examples=50, deadline=None)
+    @given(idx=arrays(np.int64, st.integers(1, 100),
+                      elements=st.integers(0, 10)))
+    def test_final_counts_are_histogram(self, idx):
+        counters = np.zeros(11, dtype=np.int64)
+        atomic_fetch_add(counters, idx, 1)
+        assert np.array_equal(counters, np.bincount(idx, minlength=11))
+
+
+class TestModelProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(keys=small_keys, group=st.sampled_from([4, 16, 32, 64]))
+    def test_conflict_slots_bounds(self, keys, group):
+        slots = conflict_slots(keys, group)
+        n_groups = -(-keys.size // group)
+        assert n_groups <= slots <= keys.size + (group - 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=small_keys)
+    def test_conflict_slots_identical_keys_fully_serialize(self, keys):
+        # A lockstep group of one address serializes completely.
+        hot = np.zeros_like(keys)
+        for group in (4, 32):
+            n_groups = -(-hot.size // group)
+            last = hot.size - (n_groups - 1) * group
+            expect = (n_groups - 1) * group + last
+            assert conflict_slots(hot, group) == expect
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=small_keys)
+    def test_conflict_slots_distinct_keys_minimal(self, keys):
+        distinct = np.arange(keys.size, dtype=np.int64)
+        for group in (4, 32):
+            assert conflict_slots(distinct, group) == \
+                -(-keys.size // group)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=arrays(np.int64, st.integers(2, 500),
+                        elements=st.integers(0, 100)))
+    def test_hit_rate_monotone_in_cache_size(self, trace):
+        small = stack_distance_hit_rate(trace, 4)
+        large = stack_distance_hit_rate(trace, 1000)
+        assert large >= small - 1e-9
+        assert 0.0 <= small <= 1.0 and 0.0 <= large <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(idx=arrays(np.int64, st.integers(1, 256),
+                      elements=st.integers(0, 10_000)))
+    def test_transactions_bounded(self, idx):
+        tx = count_transactions(idx, 8, 32, 64)
+        n_warps = -(-idx.size // 32)
+        assert n_warps <= tx <= idx.size
+
+    @settings(max_examples=40, deadline=None)
+    @given(idx=arrays(np.int64, st.integers(1, 256),
+                      elements=st.integers(0, 1000)))
+    def test_sorting_never_increases_transactions(self, idx):
+        tx_sorted = count_transactions(np.sort(idx), 8, 32, 64)
+        tx_raw = count_transactions(idx, 8, 32, 64)
+        assert tx_sorted <= tx_raw
+
+
+class TestPackProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(data=arrays(np.float32, st.integers(1, 64),
+                       elements=st.floats(-100, 100, width=32)))
+    def test_pack_add_matches_numpy(self, data):
+        p = Pack(data)
+        assert np.allclose((p + p).lanes, data + data, equal_nan=True)
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=arrays(np.float32, st.integers(2, 32),
+                       elements=st.floats(-10, 10, width=32)),
+           thresh=st.floats(-10, 10))
+    def test_where_partitions(self, data, thresh):
+        p = Pack(data)
+        mask = p < np.float32(thresh)
+        blended = Pack.where(mask, Pack(np.zeros_like(data)),
+                             Pack(np.ones_like(data)))
+        assert np.all((blended.lanes == 0) == (data < np.float32(thresh)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=arrays(np.float64, st.integers(1, 64),
+                       elements=st.floats(-1e3, 1e3)))
+    def test_reduce_add_matches_sum(self, data):
+        assert Pack(data).reduce_add() == pytest.approx(data.sum(),
+                                                        rel=1e-12,
+                                                        abs=1e-9)

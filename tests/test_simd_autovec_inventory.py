@@ -1,0 +1,159 @@
+"""Tests for the auto-vectorization analysis rules and the Figure 1
+code inventory."""
+
+import pytest
+
+from repro.machine.specs import ISA
+from repro.simd.autovec import (KernelTraits, Strategy, VectorizationOutcome,
+                                analyze_kernel)
+from repro.simd.inventory import (VPIC12_INVENTORY, breakdown_by_platform,
+                                  breakdown_by_width, kernel_fraction,
+                                  kernel_loc, simd_fraction, simd_loc,
+                                  total_loc)
+
+
+def simple():
+    return KernelTraits("axpy", flops=2, bytes_read=16, bytes_written=8,
+                        body_statements=1)
+
+
+def reduction():
+    return KernelTraits("pi", has_reduction=True, flops=6,
+                        bytes_read=0, bytes_written=0)
+
+
+def mathy():
+    return KernelTraits("planck", math_funcs=1, flops=6, bytes_read=32,
+                        bytes_written=8)
+
+
+def complex_push():
+    return KernelTraits("push", math_funcs=1, branches=2, has_gather=True,
+                        has_scatter=True, flops=200, bytes_read=104,
+                        bytes_written=80, body_statements=80)
+
+
+class TestAutoStrategy:
+    def test_simple_kernel_vectorizes_fully(self):
+        out = analyze_kernel(simple(), Strategy.AUTO, ISA.AVX2)
+        assert out.vectorized
+        assert out.lane_efficiency == 1.0
+
+    def test_reduction_fails(self):
+        out = analyze_kernel(reduction(), Strategy.AUTO, ISA.AVX512)
+        assert not out.vectorized
+        assert any("reduction" in r for r in out.reasons)
+
+    def test_complex_body_is_near_scalar(self):
+        out = analyze_kernel(complex_push(), Strategy.AUTO, ISA.AVX512)
+        assert out.vectorized
+        assert out.lane_efficiency < 0.15
+
+    def test_math_penalized(self):
+        out = analyze_kernel(mathy(), Strategy.AUTO, ISA.AVX2)
+        assert out.vectorized
+        assert out.lane_efficiency < 1.0
+
+    def test_sve_codegen_penalty(self):
+        a = analyze_kernel(simple(), Strategy.AUTO, ISA.SVE)
+        b = analyze_kernel(simple(), Strategy.AUTO, ISA.NEON)
+        assert a.lane_efficiency < b.lane_efficiency
+
+
+class TestGuidedStrategy:
+    def test_reduction_still_fails_through_layer(self):
+        # §5.3 PI_REDUCE: guided == auto because the portability
+        # layer's reduction machinery blocks omp simd.
+        out = analyze_kernel(reduction(), Strategy.GUIDED, ISA.AVX512)
+        assert not out.vectorized
+
+    def test_complex_kernel_vectorizes(self):
+        out = analyze_kernel(complex_push(), Strategy.GUIDED, ISA.AVX512)
+        assert out.vectorized
+        assert out.lane_efficiency > 0.15
+
+    def test_guided_beats_auto_on_math(self):
+        a = analyze_kernel(mathy(), Strategy.AUTO, ISA.AVX2)
+        g = analyze_kernel(mathy(), Strategy.GUIDED, ISA.AVX2)
+        assert g.lane_efficiency > a.lane_efficiency
+
+    def test_kernel_split_recorded(self):
+        out = analyze_kernel(mathy(), Strategy.GUIDED, ISA.AVX2)
+        assert any("split" in r for r in out.reasons)
+
+
+class TestManualAdhoc:
+    def test_manual_vectorizes_reduction(self):
+        out = analyze_kernel(reduction(), Strategy.MANUAL, ISA.AVX512)
+        assert out.vectorized
+
+    def test_scalar_isa_never_vectorizes(self):
+        out = analyze_kernel(simple(), Strategy.MANUAL, ISA.SCALAR)
+        assert not out.vectorized
+
+    def test_adhoc_at_least_as_efficient_as_manual(self):
+        m = analyze_kernel(complex_push(), Strategy.MANUAL, ISA.AVX2)
+        a = analyze_kernel(complex_push(), Strategy.ADHOC, ISA.AVX2)
+        assert a.lane_efficiency >= m.lane_efficiency
+
+
+class TestSimt:
+    def test_simt_always_vectorizes(self):
+        for traits in (simple(), reduction(), complex_push()):
+            out = analyze_kernel(traits, Strategy.AUTO, ISA.CUDA_SIMT)
+            assert out.vectorized
+
+    def test_complex_kernel_occupancy_penalty(self):
+        s = analyze_kernel(simple(), Strategy.AUTO, ISA.CUDA_SIMT)
+        c = analyze_kernel(complex_push(), Strategy.AUTO, ISA.CUDA_SIMT)
+        assert c.lane_efficiency < s.lane_efficiency
+        # Calibrated to the Figure 8 rooflines: ~10-15% of peak.
+        assert 0.05 < c.lane_efficiency < 0.2
+
+
+class TestTraitsValidation:
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValueError):
+            KernelTraits("bad", flops=-1)
+
+    def test_arithmetic_intensity(self):
+        t = simple()
+        assert t.arithmetic_intensity == pytest.approx(2 / 24)
+
+    def test_zero_bytes_gives_inf_intensity(self):
+        assert reduction().arithmetic_intensity == float("inf")
+
+    def test_outcome_validates_efficiency(self):
+        with pytest.raises(ValueError):
+            VectorizationOutcome(Strategy.AUTO, ISA.AVX2, True, 0.0)
+
+    def test_split_math_noop_without_math(self):
+        t = simple()
+        assert t.split_math() is t
+
+
+class TestInventory:
+    def test_headline_fractions_match_paper(self):
+        # Figure 1: >57% SIMD, 11% kernels.
+        assert simd_fraction() == pytest.approx(0.57, abs=0.005)
+        assert kernel_fraction() == pytest.approx(0.11, abs=0.005)
+
+    def test_totals_consistent(self):
+        assert simd_loc() == sum(e.loc for e in VPIC12_INVENTORY)
+        assert simd_loc() + kernel_loc() < total_loc()
+
+    def test_width_breakdown_covers_all(self):
+        by_width = breakdown_by_width()
+        assert set(by_width) == {128, 256, 512}
+        assert sum(by_width.values()) == simd_loc()
+
+    def test_platform_breakdown_covers_all(self):
+        by_plat = breakdown_by_platform()
+        assert sum(by_plat.values()) == simd_loc()
+        assert "AVX2" in by_plat and "NEON" in by_plat
+
+    def test_duplication_across_fixed_width_isas(self):
+        # The figure's point: several near-equal 128-bit families.
+        by_plat = breakdown_by_platform()
+        width128 = [e.loc for e in VPIC12_INVENTORY if e.width_bits == 128]
+        assert len(width128) >= 4

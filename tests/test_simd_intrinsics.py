@@ -1,0 +1,153 @@
+"""Tests for the VPIC 1.2 intrinsics emulation and transposes."""
+
+import numpy as np
+import pytest
+
+from repro.machine.specs import ISA, get_platform
+from repro.simd.intrinsics import (IntrinsicsLib, V4FloatAltivec, V4FloatNEON,
+                                   V4FloatSSE, V8FloatAVX2, V16FloatAVX512,
+                                   library_for_isa)
+from repro.simd.transpose import (load_interleaved, store_interleaved,
+                                  transpose_load_soa, transpose_store_soa)
+
+
+class TestVFloatClasses:
+    @pytest.mark.parametrize("cls,width", [
+        (V4FloatSSE, 4), (V4FloatNEON, 4), (V4FloatAltivec, 4),
+        (V8FloatAVX2, 8), (V16FloatAVX512, 16),
+    ])
+    def test_width_and_zero_init(self, cls, width):
+        v = cls()
+        assert v.v.shape == (width,)
+        assert np.all(v.v == 0)
+
+    def test_wrong_lane_count_rejected(self):
+        with pytest.raises(ValueError, match="4 lanes"):
+            V4FloatSSE([1.0, 2.0])
+
+    def test_load_store_roundtrip(self):
+        a = np.arange(8, dtype=np.float32)
+        v = V4FloatSSE.load(a, 2)
+        out = np.zeros(8, dtype=np.float32)
+        v.store(out, 4)
+        assert np.array_equal(out[4:8], [2, 3, 4, 5])
+
+    def test_load_bounds(self):
+        with pytest.raises(IndexError):
+            V8FloatAVX2.load(np.zeros(4, dtype=np.float32), 0)
+
+    def test_arithmetic(self):
+        a = V4FloatSSE([1, 2, 3, 4])
+        b = V4FloatSSE([4, 3, 2, 1])
+        assert np.array_equal((a + b).v, [5, 5, 5, 5])
+        assert np.array_equal((a * 2).v, [2, 4, 6, 8])
+        assert np.array_equal((a - b).v, [-3, -1, 1, 3])
+        assert np.allclose((a / 2).v, [0.5, 1, 1.5, 2])
+
+    def test_fma(self):
+        a = V4FloatNEON([1, 2, 3, 4])
+        r = a.fma(2.0, 1.0)
+        assert np.array_equal(r.v, [3, 5, 7, 9])
+
+    def test_rsqrt_sqrt_sum(self):
+        a = V4FloatSSE([4, 4, 4, 4])
+        assert np.allclose(a.rsqrt().v, 0.5)
+        assert np.allclose(a.sqrt().v, 2.0)
+        assert a.sum() == 16.0
+
+    def test_mixed_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            V4FloatSSE([1, 2, 3, 4]) + V8FloatAVX2(np.arange(8))
+
+    def test_isa_capability_flags(self):
+        assert not V4FloatSSE.HAS_FMA      # SSE predates FMA
+        assert V8FloatAVX2.HAS_FMA
+        assert not V4FloatAltivec.HAS_RSQRT
+
+
+class TestLoadStoreTr:
+    def test_roundtrip(self):
+        # 4 structs of 4 floats, interleaved.
+        aos = np.arange(16, dtype=np.float32)
+        fields = V4FloatSSE.load_tr(aos, 0, 4)
+        assert len(fields) == 4
+        # Field 0 holds element 0 of each struct.
+        assert np.array_equal(fields[0].v, [0, 4, 8, 12])
+        out = np.zeros(16, dtype=np.float32)
+        V4FloatSSE.store_tr(fields, out, 0, 4)
+        assert np.array_equal(out, aos)
+
+    def test_strided_structs(self):
+        aos = np.arange(40, dtype=np.float32)
+        fields = V4FloatSSE.load_tr(aos, 0, 10)   # stride > width
+        assert np.array_equal(fields[1].v, [1, 11, 21, 31])
+
+    def test_bounds(self):
+        with pytest.raises(IndexError):
+            V4FloatSSE.load_tr(np.zeros(8, dtype=np.float32), 0, 4)
+
+    def test_store_tr_wrong_count(self):
+        with pytest.raises(ValueError):
+            V4FloatSSE.store_tr([V4FloatSSE()], np.zeros(16, np.float32),
+                                0, 4)
+
+
+class TestIntrinsicsLib:
+    def test_picks_widest(self):
+        lib = IntrinsicsLib((ISA.SSE, ISA.AVX2))
+        assert lib.vfloat is V8FloatAVX2
+        assert lib.width == 8
+
+    def test_neon_only(self):
+        lib = IntrinsicsLib((ISA.NEON,))
+        assert lib.vfloat is V4FloatNEON
+
+    def test_unsupported_isa_raises(self):
+        with pytest.raises(LookupError):
+            IntrinsicsLib((ISA.CUDA_SIMT,))
+
+    def test_empty_raises(self):
+        with pytest.raises(LookupError):
+            IntrinsicsLib(())
+
+    def test_gpu_platform_has_no_adhoc(self):
+        with pytest.raises(LookupError):
+            library_for_isa(get_platform("A100").adhoc_isas)
+
+    def test_x86_platform_dispatch(self):
+        lib = library_for_isa(get_platform("EPYC 7763").adhoc_isas)
+        assert lib.width == 8
+
+
+class TestTransposeHelpers:
+    def test_load_store_roundtrip(self):
+        aos = np.arange(24, dtype=np.float32)
+        soa = transpose_load_soa(aos, first=1, count=2, nfields=8)
+        assert soa.shape == (8, 2)
+        assert np.array_equal(soa[:, 0], aos[8:16])
+        out = aos.copy()
+        out[8:24] = 0
+        transpose_store_soa(soa, out, first=1)
+        assert np.array_equal(out, aos)
+
+    def test_bounds_checked(self):
+        with pytest.raises(IndexError):
+            transpose_load_soa(np.zeros(8, np.float32), 0, 2, 8)
+        with pytest.raises(IndexError):
+            transpose_store_soa(np.zeros((4, 2), np.float32),
+                                np.zeros(4, np.float32), 0)
+
+    def test_interleaved_gather_scatter(self):
+        aos = np.arange(32, dtype=np.float32)
+        soa = load_interleaved(aos, np.array([3, 0]), nfields=8)
+        assert np.array_equal(soa[:, 0], aos[24:32])
+        assert np.array_equal(soa[:, 1], aos[0:8])
+        out = np.zeros(32, dtype=np.float32)
+        store_interleaved(soa, out, np.array([3, 0]))
+        assert np.array_equal(out[24:32], aos[24:32])
+        assert np.array_equal(out[0:8], aos[0:8])
+
+    def test_interleaved_count_mismatch(self):
+        with pytest.raises(ValueError):
+            store_interleaved(np.zeros((8, 2), np.float32),
+                              np.zeros(32, np.float32), np.array([0]))

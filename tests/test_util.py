@@ -1,0 +1,76 @@
+"""Tests for repro._util helpers."""
+
+import math
+
+import pytest
+
+from repro._util import (GiB, KiB, MiB, check_nonnegative, check_positive,
+                         format_bytes, format_rate, format_time, geomean,
+                         require)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestCheckPositive:
+    def test_returns_value(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", bad)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", bad)
+
+
+class TestFormatting:
+    def test_bytes_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2 * KiB) == "2.00 KiB"
+        assert format_bytes(3 * MiB) == "3.00 MiB"
+        assert format_bytes(int(1.5 * GiB)) == "1.50 GiB"
+
+    def test_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_rate_units(self):
+        assert format_rate(2.5e9) == "2.50 GB/s"
+        assert format_rate(1.2e12) == "1.20 TB/s"
+
+    def test_time_units(self):
+        assert format_time(1.5) == "1.5 s"
+        assert format_time(2e-3) == "2 ms"
+        assert format_time(3e-6) == "3 us"
+        assert format_time(5e-9) == "5 ns"
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert math.isclose(geomean([1, 4]), 2.0)
+
+    def test_identity(self):
+        assert math.isclose(geomean([7.0]), 7.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

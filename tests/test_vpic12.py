@@ -1,0 +1,188 @@
+"""Tests for the VPIC 1.2 (ad hoc) emulation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.machine.specs import get_platform
+from repro.simd.intrinsics import library_for_isa
+from repro.vpic.boris import advance_positions, boris_push
+from repro.vpic.fields import FieldArrays
+from repro.vpic.grid import Grid
+from repro.vpic.interpolate import gather_fields
+from repro.vpic.particles import load_maxwellian
+from repro.vpic.species import Species
+from repro.vpic12 import NFIELDS, ParticleBlock, Vpic12Pipeline, advance_block
+
+
+@pytest.fixture
+def grid():
+    return Grid(6, 6, 6, dx=0.5, dy=0.5, dz=0.5)
+
+
+@pytest.fixture
+def species(grid):
+    sp = Species("e", -1.0, 1.0, grid)
+    load_maxwellian(sp, ppc=1, uth=0.1, seed=3)
+    return sp
+
+
+class TestParticleBlock:
+    def test_roundtrip_species(self, species):
+        x_orig = species.live("x").copy()
+        ux_orig = species.live("ux").copy()
+        block = ParticleBlock.from_species(species)
+        species.live("x")[...] = 0
+        block.to_species(species)
+        np.testing.assert_array_equal(species.live("x"), x_orig)
+        np.testing.assert_array_equal(species.live("ux"), ux_orig)
+
+    def test_interleaved_layout(self, species):
+        block = ParticleBlock.from_species(species)
+        i = 5
+        s = block.struct(i)
+        assert s[0] == species.x[i]
+        assert s[3] == species.ux[i]
+        assert s[6] == species.w[i]
+
+    def test_field_view_is_strided(self, species):
+        block = ParticleBlock.from_species(species)
+        xs = block.field("x")
+        assert xs.strides[0] == NFIELDS * 4
+
+    def test_struct_bounds(self, species):
+        block = ParticleBlock.from_species(species)
+        with pytest.raises(IndexError):
+            block.struct(block.n)
+
+    def test_empty_species_rejected(self, grid):
+        sp = Species("e", -1.0, 1.0, grid)
+        with pytest.raises(ValueError):
+            ParticleBlock.from_species(sp)
+
+    def test_size_mismatch_rejected(self, species, grid):
+        block = ParticleBlock.from_species(species)
+        other = Species("o", -1.0, 1.0, grid)
+        other.append([0.1], [0.1], [0.1], [0], [0], [0], [1])
+        with pytest.raises(ValueError):
+            block.to_species(other)
+
+
+class TestAdvanceBlock:
+    def _reference_push(self, species, fields, dt):
+        """The portable (VPIC 2.0) push for comparison."""
+        x, y, z = (species.live("x").copy(), species.live("y").copy(),
+                   species.live("z").copy())
+        ux, uy, uz = (species.live("ux").copy(), species.live("uy").copy(),
+                      species.live("uz").copy())
+        ex, ey, ez, bx, by, bz = gather_fields(fields, x, y, z)
+        boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz, species.q,
+                   species.m, dt)
+        advance_positions(x, y, z, ux, uy, uz, dt)
+        return x, y, z, ux, uy, uz
+
+    @pytest.mark.parametrize("plat", ["EPYC 7763", "Platinum 8480",
+                                      "Grace", "A64FX"])
+    def test_matches_portable_push(self, grid, species, plat):
+        """§5.3's premise: ad hoc and portable compute the same
+        physics; only performance differs."""
+        fields = FieldArrays(grid)
+        fields.ey.fill(0.02)
+        fields.bz.fill(0.5)
+        dt = grid.dt
+        ref = self._reference_push(species, fields, dt)
+
+        lib = library_for_isa(get_platform(plat).adhoc_isas)
+        block = ParticleBlock.from_species(species)
+        advance_block(block, lib,
+                      lambda x, y, z: gather_fields(fields, x, y, z),
+                      species.q, species.m, dt)
+        np.testing.assert_allclose(block.field("ux"), ref[3],
+                                   rtol=2e-5, atol=1e-6)
+        np.testing.assert_allclose(block.field("x"), ref[0],
+                                   rtol=2e-5, atol=1e-6)
+        np.testing.assert_allclose(block.field("uz"), ref[5],
+                                   rtol=2e-5, atol=1e-6)
+
+    def test_remainder_particles_handled(self, grid):
+        """A block whose size isn't a width multiple exercises the
+        scalar epilogue."""
+        sp = Species("e", -1.0, 1.0, grid)
+        n = 13   # not divisible by 4 or 8
+        rng = np.random.default_rng(0)
+        sp.append((rng.random(n) * 2 + 0.5).astype(np.float32),
+                  (rng.random(n) * 2 + 0.5).astype(np.float32),
+                  (rng.random(n) * 2 + 0.5).astype(np.float32),
+                  rng.normal(0, 0.1, n).astype(np.float32),
+                  rng.normal(0, 0.1, n).astype(np.float32),
+                  rng.normal(0, 0.1, n).astype(np.float32),
+                  np.ones(n, dtype=np.float32))
+        fields = FieldArrays(grid)
+        fields.ex.fill(0.1)
+        ref = self._reference_push(sp, fields, 0.05)
+        lib = library_for_isa(get_platform("EPYC 7763").adhoc_isas)
+        block = ParticleBlock.from_species(sp)
+        advance_block(block, lib,
+                      lambda x, y, z: gather_fields(fields, x, y, z),
+                      sp.q, sp.m, 0.05)
+        np.testing.assert_allclose(block.field("ux"), ref[3],
+                                   rtol=2e-5, atol=1e-6)
+
+    def test_bad_dt(self, grid, species):
+        lib = library_for_isa(get_platform("EPYC 7763").adhoc_isas)
+        block = ParticleBlock.from_species(species)
+        with pytest.raises(ValueError):
+            advance_block(block, lib, lambda x, y, z: None, -1, 1, 0)
+
+
+class TestPipeline:
+    def test_gpu_platform_rejected(self, grid):
+        fields = FieldArrays(grid)
+        with pytest.raises(LookupError):
+            Vpic12Pipeline(fields, get_platform("A100"))
+
+    def test_full_step_conserves_particles(self, grid, species):
+        fields = FieldArrays(grid)
+        fields.bz.fill(0.3)
+        pipe = Vpic12Pipeline(fields, get_platform("EPYC 7763"))
+        n0 = species.n
+        pipe.push_species(species)
+        assert species.n == n0
+        # positions stayed in the box (boundary applied)
+        lx = grid.lengths[0]
+        assert species.live("x").max() < lx
+
+    def test_deposits_current(self, grid, species):
+        fields = FieldArrays(grid)
+        fields.ex.fill(0.1)   # accelerates electrons -x
+        pipe = Vpic12Pipeline(fields, get_platform("EPYC 7763"))
+        pipe.push_species(species)
+        assert np.abs(fields.jx.data).sum() > 0
+
+    def test_matches_vpic20_over_a_step(self, grid):
+        """Full-step equivalence: legacy pipeline vs portable push."""
+        sp20 = Species("e", -1.0, 1.0, grid)
+        load_maxwellian(sp20, ppc=1, uth=0.1, seed=9)
+        sp12 = Species("e", -1.0, 1.0, grid)
+        load_maxwellian(sp12, ppc=1, uth=0.1, seed=9)
+
+        f20 = FieldArrays(grid)
+        f20.bz.fill(0.4)
+        f12 = FieldArrays(grid)
+        f12.bz.fill(0.4)
+
+        # portable step (push + move + boundary)
+        from repro.vpic.boundary import apply_particle_boundaries
+        x, y, z = sp20.positions()
+        ux, uy, uz = sp20.momenta()
+        ex, ey, ez, bx, by, bz = gather_fields(f20, x, y, z)
+        boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz, -1.0, 1.0, grid.dt)
+        advance_positions(x, y, z, ux, uy, uz, grid.dt)
+        apply_particle_boundaries(sp20)
+
+        pipe = Vpic12Pipeline(f12, get_platform("Platinum 8480"))
+        pipe.push_species(sp12, deposit=False)
+
+        np.testing.assert_allclose(sp12.live("x"), sp20.live("x"),
+                                   rtol=2e-5, atol=1e-5)
+        np.testing.assert_allclose(sp12.live("uy"), sp20.live("uy"),
+                                   rtol=2e-5, atol=1e-6)

@@ -1,0 +1,130 @@
+"""Tests for divergence cleaning (clean_div_e / clean_div_b)."""
+
+import numpy as np
+import pytest
+
+from repro.vpic.clean import (clean_div_b, clean_div_e, div_b_error,
+                              div_e_error)
+from repro.vpic.deposit import deposit_charge
+from repro.vpic.fields import FieldArrays, FieldSolver
+from repro.vpic.grid import Grid
+from repro.vpic.workloads import uniform_plasma_deck
+
+
+@pytest.fixture
+def grid():
+    return Grid(12, 12, 12, dx=0.5, dy=0.5, dz=0.5)
+
+
+def neutralized_rho(grid, x, y, z, w, q):
+    """CIC charge density with ghosts folded and the neutralizing
+    background (mean) subtracted."""
+    rho = deposit_charge(grid, x, y, z, w, q).astype(np.float64)
+    a = rho.reshape(grid.shape)
+    for axis, n in ((0, grid.nx), (1, grid.ny), (2, grid.nz)):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[axis], hi[axis] = 0, n
+        a[tuple(hi)] += a[tuple(lo)]
+        a[tuple(lo)] = 0
+        lo[axis], hi[axis] = n + 1, 1
+        a[tuple(hi)] += a[tuple(lo)]
+        a[tuple(lo)] = 0
+    interior = a[1:-1, 1:-1, 1:-1]
+    interior -= interior.mean()
+    return a.reshape(-1)
+
+
+class TestDivE:
+    def test_zero_fields_zero_charge(self, grid):
+        f = FieldArrays(grid)
+        err = div_e_error(f, np.zeros(grid.n_voxels))
+        assert np.abs(err).max() == 0.0
+
+    def test_violation_detected(self, grid, rng):
+        """A random E field violates Gauss's law for zero charge."""
+        f = FieldArrays(grid)
+        f.ex.data[...] = rng.random(f.ex.shape).astype(np.float32)
+        err = div_e_error(f, np.zeros(grid.n_voxels))
+        assert np.abs(err).max() > 0.1
+
+    def test_cleaning_removes_violation(self, grid, rng):
+        f = FieldArrays(grid)
+        for c in ("ex", "ey", "ez"):
+            getattr(f, c).data[...] = rng.normal(
+                0, 1, f.ex.shape).astype(np.float32)
+        rho = np.zeros(grid.n_voxels)
+        before = float(np.abs(div_e_error(f, rho)).max())
+        after = clean_div_e(f, rho)
+        assert after < 1e-3 * before
+
+    def test_cleaning_reaches_deposited_charge(self, grid, rng):
+        """Starting from E=0 with real charge present, the cleaned E
+        satisfies Gauss's law for that charge (the initial-condition
+        solve VPIC uses)."""
+        n = 2000
+        lx, ly, lz = grid.lengths
+        x = (rng.random(n) * lx)
+        y = (rng.random(n) * ly)
+        z = (rng.random(n) * lz)
+        w = rng.random(n).astype(np.float32)
+        rho = neutralized_rho(grid, x, y, z, w, -1.0)
+        f = FieldArrays(grid)
+        before = float(np.abs(div_e_error(f, rho)).max())
+        after = clean_div_e(f, rho)
+        assert after < 1e-4 * before
+        # and E is now genuinely nonzero
+        assert np.abs(f.ex.data).max() > 0
+
+    def test_clean_preserves_solenoidal_part(self, grid):
+        """Cleaning must not disturb a divergence-free field."""
+        f = FieldArrays(grid)
+        x = np.arange(grid.nx + 2)
+        # Ey(x): divergence-free by construction (d/dy of it is 0).
+        f.ey.data[:, :, :] = np.sin(
+            2 * np.pi * x / grid.nx)[:, None, None].astype(np.float32)
+        snapshot = f.ey.data.copy()
+        clean_div_e(f, np.zeros(grid.n_voxels))
+        np.testing.assert_allclose(f.ey.data, snapshot, atol=1e-6)
+
+
+class TestDivB:
+    def test_fdtd_preserves_div_b(self, grid):
+        """The Yee update keeps div B at roundoff — the structural
+        property that makes cleaning rarely needed for B."""
+        f = FieldArrays(grid)
+        x = np.arange(grid.nx + 2)
+        f.ey.data[:, :, :] = np.sin(
+            2 * np.pi * x / grid.nx)[:, None, None].astype(np.float32)
+        s = FieldSolver(f)
+        for _ in range(20):
+            s.advance_b(0.5)
+            s.advance_b(0.5)
+            s.advance_e(1.0)
+        assert np.abs(div_b_error(f)).max() < 1e-5
+
+    def test_cleaning_restores_div_b(self, grid, rng):
+        f = FieldArrays(grid)
+        for c in ("bx", "by", "bz"):
+            getattr(f, c).data[...] = rng.normal(
+                0, 1, f.bx.shape).astype(np.float32)
+        before = float(np.abs(div_b_error(f)).max())
+        after = clean_div_b(f)
+        assert after < 1e-3 * before
+
+
+class TestSimulationGaussLaw:
+    def test_cic_run_accumulates_div_error_then_cleans(self):
+        """The ablation behind VPIC's clean_div_e pass: CIC deposition
+        lets div E - rho drift; one projection restores it."""
+        deck = uniform_plasma_deck(nx=8, ny=8, nz=8, ppc=8, uth=0.2,
+                                   num_steps=20)
+        sim = deck.build()
+        sim.run(20)
+        sp = sim.species[0]
+        x, y, z = sp.positions()
+        rho = neutralized_rho(sim.grid, x, y, z, sp.live("w"), sp.q)
+        before = float(np.abs(div_e_error(sim.fields, rho)).max())
+        assert before > 1e-4          # CIC drift is real
+        after = clean_div_e(sim.fields, rho)
+        assert after < 0.05 * before

@@ -1,0 +1,200 @@
+"""Tests for moments, tracers, and spectral diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.vpic.fields import FieldArrays
+from repro.vpic.grid import Grid
+from repro.vpic.moments import (MomentSet, compute_moments, flow_velocity,
+                                number_density, temperature)
+from repro.vpic.particles import load_maxwellian
+from repro.vpic.spectra import (dominant_mode, energy_spectrum,
+                                field_mode_spectrum, velocity_histogram)
+from repro.vpic.species import Species
+from repro.vpic.tracers import TracerSet
+from repro.vpic.workloads import uniform_plasma_deck
+
+
+@pytest.fixture
+def grid():
+    return Grid(8, 8, 8, dx=0.5, dy=0.5, dz=0.5)
+
+
+@pytest.fixture
+def thermal(grid):
+    sp = Species("e", -1.0, 1.0, grid)
+    load_maxwellian(sp, ppc=16, uth=0.1, drift=(0.05, 0, 0), seed=2)
+    return sp
+
+
+class TestMoments:
+    def test_density_integrates_to_weight(self, thermal, grid):
+        dens = number_density(thermal)
+        total = dens.sum() * grid.cell_volume
+        assert total == pytest.approx(thermal.live("w").sum(), rel=1e-6)
+
+    def test_uniform_density_uniform(self, thermal, grid):
+        dens = number_density(thermal).reshape(grid.shape)
+        interior = dens[2:-2, 2:-2, 2:-2]
+        assert interior.std() / interior.mean() < 0.2
+
+    def test_flow_recovers_drift(self, thermal):
+        dens, vel = flow_velocity(thermal)
+        mask = dens > 0
+        mean_vx = (vel[0][mask] * dens[mask]).sum() / dens[mask].sum()
+        assert mean_vx == pytest.approx(0.05, abs=0.01)
+        assert abs((vel[1][mask] * dens[mask]).sum()
+                   / dens[mask].sum()) < 0.01
+
+    def test_temperature_recovers_uth(self, thermal):
+        ms = MomentSet(thermal)
+        t = ms.mean_temperature()
+        # T = m uth^2 for a nonrelativistic Maxwellian.
+        assert t[1] == pytest.approx(0.01, rel=0.2)
+        assert t[2] == pytest.approx(0.01, rel=0.2)
+
+    def test_anisotropy_near_one_for_isotropic(self, thermal):
+        assert MomentSet(thermal).anisotropy() < 1.5
+
+    def test_anisotropic_beam_detected(self, grid):
+        sp = Species("e", -1.0, 1.0, grid)
+        load_maxwellian(sp, ppc=16, uth=0.02, seed=1)
+        sp.live("uz")[...] = np.float32(5.0) * sp.live("uz")
+        assert MomentSet(sp).anisotropy() > 5
+
+    def test_empty_species(self, grid):
+        sp = Species("e", -1.0, 1.0, grid)
+        assert number_density(sp).sum() == 0
+        assert temperature(sp).sum() == 0
+        assert compute_moments(sp).mean_temperature().sum() == 0
+
+
+class TestTracers:
+    def test_tagging_selects_exactly_n(self, thermal):
+        ts = TracerSet(thermal, 10, seed=1)
+        assert (thermal.live("tag") >= 0).sum() == 10
+
+    def test_record_and_trajectory(self, thermal):
+        ts = TracerSet(thermal, 5, seed=1)
+        ts.record(0)
+        thermal.live("x")[...] += np.float32(0.01)
+        ts.record(1)
+        traj = ts.trajectory(3)
+        assert traj["x"].shape == (2,)
+        assert traj["x"][1] == pytest.approx(traj["x"][0] + 0.01,
+                                             abs=1e-5)
+
+    def test_identity_survives_sorting(self, thermal):
+        from repro.core.sorting import SortKind
+        from repro.vpic.sort_step import SortStep
+        ts = TracerSet(thermal, 8, seed=2)
+        ts.record(0)
+        x_before = ts.samples[0].x.copy()
+        SortStep(kind=SortKind.STANDARD).apply(thermal)
+        ts.record(1)
+        np.testing.assert_array_equal(np.sort(x_before),
+                                      np.sort(ts.samples[1].x))
+        # order by tag must be identical, not just set-equal
+        np.testing.assert_allclose(ts.samples[1].x, x_before, atol=0)
+
+    def test_identity_survives_migration(self):
+        from repro.mpi.comm import World
+        from repro.mpi.decomposition import CartDecomposition
+        from repro.mpi.particle_exchange import migrate_particles
+        decomp = CartDecomposition(8, 8, 8, (2, 1, 1))
+        world = World(2)
+        species = []
+        for r in range(2):
+            ox, oy, oz = decomp.local_origin(r)
+            g = Grid(4, 8, 8, x0=ox, y0=oy, z0=oz)
+            species.append(Species("e", -1, 1, g))
+        species[0].append([5.0], [1.0], [1.0], [0], [0], [0], [1.0])
+        species[0].tag[0] = 42
+        migrate_particles(world, decomp, species)
+        assert species[1].tag[0] == 42
+
+    def test_energies_shape(self, thermal):
+        ts = TracerSet(thermal, 4, seed=0)
+        ts.record(0)
+        ts.record(1)
+        e = ts.energies()
+        assert e.shape == (2, 4)
+        assert np.all(e >= 0)
+
+    def test_too_many_tracers_rejected(self, grid):
+        sp = Species("e", -1.0, 1.0, grid)
+        sp.append([0.1], [0.1], [0.1], [0], [0], [0], [1])
+        with pytest.raises(ValueError):
+            TracerSet(sp, 5)
+
+    def test_bad_trajectory_index(self, thermal):
+        ts = TracerSet(thermal, 3)
+        ts.record(0)
+        with pytest.raises(IndexError):
+            ts.trajectory(3)
+
+
+class TestSpectra:
+    def test_single_mode_identified(self, grid):
+        f = FieldArrays(grid)
+        x = np.arange(grid.nx)
+        mode = 2
+        wave = np.sin(2 * np.pi * mode * x / grid.nx)
+        f.ey.data[1:-1, 1:-1, 1:-1] = \
+            wave[:, None, None].astype(np.float32)
+        k, p = field_mode_spectrum(f, "ey", axis=0)
+        k_dom, _ = dominant_mode(f, "ey", axis=0)
+        expect_k = 2 * np.pi * mode / (grid.nx * grid.dx)
+        assert k_dom == pytest.approx(expect_k, rel=1e-6)
+
+    def test_spectrum_axis_selection(self, grid):
+        f = FieldArrays(grid)
+        y = np.arange(grid.ny)
+        f.bz.data[1:-1, 1:-1, 1:-1] = np.sin(
+            2 * np.pi * 3 * y / grid.ny)[None, :, None].astype(np.float32)
+        k_dom, _ = dominant_mode(f, "bz", axis=1)
+        assert k_dom == pytest.approx(2 * np.pi * 3 / (grid.ny * grid.dy),
+                                      rel=1e-6)
+
+    def test_unknown_component_rejected(self, grid):
+        with pytest.raises(ValueError):
+            field_mode_spectrum(FieldArrays(grid), "phi")
+        with pytest.raises(ValueError):
+            field_mode_spectrum(FieldArrays(grid), "ex", axis=5)
+
+    def test_velocity_histogram_statistics(self, thermal):
+        centers, counts = velocity_histogram(thermal, "ux", bins=40)
+        mean = (centers * counts).sum() / counts.sum()
+        assert mean == pytest.approx(0.05, abs=0.02)
+        assert counts.sum() == pytest.approx(
+            thermal.live("w").sum(), rel=0.05)   # 4-sigma coverage
+
+    def test_energy_spectrum_total_weight(self, thermal):
+        centers, counts = energy_spectrum(thermal, bins=30)
+        assert counts.sum() <= thermal.live("w").sum() * 1.001
+        assert counts.sum() > 0.9 * thermal.live("w").sum()
+
+    def test_energy_spectrum_linear_bins(self, thermal):
+        centers, counts = energy_spectrum(thermal, bins=20, log=False)
+        assert np.all(np.diff(centers) > 0)
+
+    def test_empty_species_rejected(self, grid):
+        sp = Species("e", -1.0, 1.0, grid)
+        with pytest.raises(ValueError):
+            velocity_histogram(sp)
+        with pytest.raises(ValueError):
+            energy_spectrum(sp)
+
+
+class TestTwoStreamMode:
+    def test_two_stream_excites_seeded_mode(self):
+        """The instability grows a longitudinal mode near the seeded
+        wavenumber band (k v0 ~ w_pe)."""
+        from repro.vpic.workloads import two_stream_deck
+        deck = two_stream_deck(nx=32, ppc=64, drift=0.1, num_steps=500)
+        sim = deck.build()
+        sim.run(500)
+        k_dom, power = dominant_mode(sim.fields, "ex", axis=0)
+        # fastest-growing mode: k ~ 0.6/v0 ... 1.0/v0 band
+        assert 0.3 / 0.1 < k_dom < 1.5 / 0.1
+        assert power > 0

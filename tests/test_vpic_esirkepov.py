@@ -1,0 +1,170 @@
+"""Tests for the charge-conserving (Esirkepov) deposition."""
+
+import numpy as np
+import pytest
+
+from repro.vpic.deck import DepositionKind
+from repro.vpic.deposit import cic_weights
+from repro.vpic.esirkepov import continuity_residual, deposit_current_esirkepov
+from repro.vpic.fields import FieldArrays, FieldSolver
+from repro.vpic.grid import Grid
+from repro.vpic.workloads import uniform_plasma_deck
+
+
+@pytest.fixture
+def grid():
+    return Grid(8, 8, 8, dx=0.5, dy=0.5, dz=0.5, dt=0.1)
+
+
+def rho_f64(grid, x, y, z, w, q):
+    """Double-precision CIC charge density (reference for continuity)."""
+    out = np.zeros(grid.n_voxels)
+    ix, iy, iz = grid.cell_of_position(x, y, z)
+    fx, fy, fz = grid.cell_fraction(np.asarray(x, np.float64),
+                                    np.asarray(y, np.float64),
+                                    np.asarray(z, np.float64))
+    _, sy, sz = grid.shape
+    for di, dj, dk, wt in cic_weights(fx, fy, fz):
+        vox = ((ix + di) * sy + (iy + dj)) * sz + (iz + dk)
+        np.add.at(out, vox,
+                  np.asarray(w) * q / grid.cell_volume
+                  * np.asarray(wt, np.float64))
+    return out
+
+
+def fold_periodic(grid, rho):
+    a = rho.reshape(grid.shape).copy()
+    for axis, n in ((0, grid.nx), (1, grid.ny), (2, grid.nz)):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        lo[axis], hi[axis] = 0, n
+        a[tuple(hi)] += a[tuple(lo)]
+        a[tuple(lo)] = 0
+        lo[axis], hi[axis] = n + 1, 1
+        a[tuple(hi)] += a[tuple(lo)]
+        a[tuple(lo)] = 0
+    return a.reshape(-1)
+
+
+def random_moves(grid, n, rng, max_frac=0.9):
+    lx, ly, lz = grid.lengths
+    x0 = rng.random(n) * lx
+    y0 = rng.random(n) * ly
+    z0 = rng.random(n) * lz
+    d = max_frac * grid.dx
+    x1 = np.clip(x0 + rng.uniform(-d, d, n), 0, lx - 1e-6)
+    y1 = np.clip(y0 + rng.uniform(-d, d, n), 0, ly - 1e-6)
+    z1 = np.clip(z0 + rng.uniform(-d, d, n), 0, lz - 1e-6)
+    return x0, y0, z0, x1, y1, z1
+
+
+class TestContinuity:
+    def test_exact_continuity_interior(self, grid, rng):
+        n = 300
+        x0, y0, z0, x1, y1, z1 = random_moves(grid, n, rng)
+        # keep away from box edges -> no ghost handling needed
+        for arr in (x0, y0, z0, x1, y1, z1):
+            np.clip(arr, 0.6, 3.4, out=arr)
+        w = rng.random(n)
+        f = FieldArrays(grid, dtype=np.float64)
+        deposit_current_esirkepov(f, x0, y0, z0, x1, y1, z1, w, -1.0,
+                                  grid.dt)
+        r0 = rho_f64(grid, x0, y0, z0, w, -1.0)
+        r1 = rho_f64(grid, x1, y1, z1, w, -1.0)
+        res = continuity_residual(grid, r0, r1, f, grid.dt)
+        scale = np.abs(r1 - r0).max() / grid.dt
+        assert np.abs(res).max() < 2e-6 * max(scale, 1.0)
+
+    def test_exact_continuity_whole_box_periodic(self, grid, rng):
+        n = 1000
+        x0, y0, z0, x1, y1, z1 = random_moves(grid, n, rng)
+        w = rng.random(n)
+        f = FieldArrays(grid, dtype=np.float64)
+        deposit_current_esirkepov(f, x0, y0, z0, x1, y1, z1, w, -1.0,
+                                  grid.dt)
+        s = FieldSolver(f)
+        s.reduce_ghost_currents()
+        s.sync_periodic(("jx", "jy", "jz"))
+        r0 = fold_periodic(grid, rho_f64(grid, x0, y0, z0, w, -1.0))
+        r1 = fold_periodic(grid, rho_f64(grid, x1, y1, z1, w, -1.0))
+        res = continuity_residual(grid, r0, r1, f, grid.dt)
+        scale = np.abs(r1 - r0).max() / grid.dt
+        assert np.abs(res).max() < 2e-6 * max(scale, 1.0)
+
+    def test_stationary_particle_deposits_nothing(self, grid):
+        f = FieldArrays(grid, dtype=np.float64)
+        x = np.array([1.3])
+        deposit_current_esirkepov(f, x, x, x, x, x, x,
+                                  np.array([1.0]), -1.0, grid.dt)
+        assert np.abs(f.jx.data).max() == 0.0
+        assert np.abs(f.jy.data).max() == 0.0
+
+    def test_total_current_matches_qv(self, grid, rng):
+        # Integrated J dV = q w (dx_move/dt) summed over particles.
+        n = 100
+        x0, y0, z0, x1, y1, z1 = random_moves(grid, n, rng, max_frac=0.5)
+        for arr in (x0, y0, z0, x1, y1, z1):
+            np.clip(arr, 0.6, 3.4, out=arr)
+        w = rng.random(n)
+        f = FieldArrays(grid, dtype=np.float64)
+        deposit_current_esirkepov(f, x0, y0, z0, x1, y1, z1, w, -1.0,
+                                  grid.dt)
+        total_jx = f.jx.data.sum() * grid.cell_volume
+        expect = (-1.0 * w * (x1 - x0) / grid.dt).sum()
+        assert total_jx == pytest.approx(expect, rel=1e-9)
+
+    def test_supercell_move_rejected(self, grid):
+        f = FieldArrays(grid)
+        with pytest.raises(ValueError, match="sub-cell"):
+            deposit_current_esirkepov(
+                f, np.array([0.6]), np.array([0.6]), np.array([0.6]),
+                np.array([2.0]), np.array([0.6]), np.array([0.6]),
+                np.array([1.0]), -1.0, grid.dt)
+
+    def test_bad_dt_rejected(self, grid):
+        f = FieldArrays(grid)
+        z = np.zeros(1)
+        with pytest.raises(ValueError):
+            deposit_current_esirkepov(f, z, z, z, z, z, z,
+                                      np.ones(1), -1.0, 0.0)
+        with pytest.raises(ValueError):
+            continuity_residual(grid, np.zeros(grid.n_voxels),
+                                np.zeros(grid.n_voxels), f, -1.0)
+
+    def test_empty_particles_noop(self, grid):
+        f = FieldArrays(grid)
+        z = np.zeros(0)
+        deposit_current_esirkepov(f, z, z, z, z, z, z, z, -1.0, grid.dt)
+        assert np.abs(f.jx.data).max() == 0.0
+
+
+class TestSimulationIntegration:
+    def test_esirkepov_deck_runs_and_conserves(self):
+        from dataclasses import replace
+        from repro.vpic.diagnostics import EnergyDiagnostic
+        # uth=0.2 keeps the Debye length resolved (dx/lambda_D ~ 2.5)
+        # so grid heating stays small.
+        deck = uniform_plasma_deck(nx=6, ny=6, nz=6, ppc=8, uth=0.2,
+                                   num_steps=15)
+        deck = replace(deck, deposition=DepositionKind.ESIRKEPOV)
+        sim = deck.build()
+        diag = EnergyDiagnostic()
+        sim.run(15, diag)
+        assert diag.max_total_drift() < 0.05
+        assert sim.total_particles == deck.total_particles
+
+    def test_esirkepov_close_to_cic_physics(self):
+        from dataclasses import replace
+        from repro.vpic.diagnostics import EnergyDiagnostic
+        totals = {}
+        for kind in (DepositionKind.CIC, DepositionKind.ESIRKEPOV):
+            deck = uniform_plasma_deck(nx=6, ny=6, nz=6, ppc=8,
+                                       uth=0.2, num_steps=10)
+            deck = replace(deck, deposition=kind)
+            sim = deck.build()
+            diag = EnergyDiagnostic()
+            sim.run(10, diag)
+            totals[kind] = diag.samples[-1].total
+        # Same physics, slightly different discrete currents.
+        assert totals[DepositionKind.ESIRKEPOV] == pytest.approx(
+            totals[DepositionKind.CIC], rel=0.05)

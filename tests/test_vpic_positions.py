@@ -1,0 +1,122 @@
+"""Tests for cell-offset positions (the refs [19,20] optimization)."""
+
+import numpy as np
+import pytest
+
+from repro.vpic.grid import Grid
+from repro.vpic.positions import (CellOffsetPositions, cell_offset_error,
+                                  compressed_voxel_dtype,
+                                  global_position_error, particle_bytes)
+
+
+@pytest.fixture
+def grid():
+    return Grid(16, 16, 16, dx=0.25, dy=0.25, dz=0.25)
+
+
+class TestCompression:
+    def test_small_grid_uses_u16(self):
+        g = Grid(8, 8, 8)
+        assert compressed_voxel_dtype(g) == np.uint16
+
+    def test_medium_grid_uses_u32(self):
+        g = Grid(64, 64, 64)
+        assert compressed_voxel_dtype(g) == np.uint32
+
+    def test_particle_bytes_smaller_than_global(self, grid):
+        assert particle_bytes(grid, "cell-offset") < \
+            particle_bytes(grid, "global")
+
+    def test_unknown_layout(self, grid):
+        with pytest.raises(ValueError):
+            particle_bytes(grid, "interleaved")
+
+
+class TestRoundtrip:
+    def test_global_roundtrip_exact_to_offset_precision(self, grid, rng):
+        n = 500
+        lx, ly, lz = grid.lengths
+        x = rng.random(n) * lx
+        y = rng.random(n) * ly
+        z = rng.random(n) * lz
+        pos = CellOffsetPositions.from_global(grid, x, y, z)
+        rx, ry, rz = pos.to_global()
+        # error bounded by the *cell* roundoff, not the box roundoff
+        tol = 4 * cell_offset_error(grid.dx)
+        np.testing.assert_allclose(rx, x, atol=tol)
+        np.testing.assert_allclose(rz, z, atol=tol)
+
+    def test_offsets_in_unit_range(self, grid, rng):
+        n = 200
+        pos = CellOffsetPositions.from_global(
+            grid, rng.random(n) * 4, rng.random(n) * 4, rng.random(n) * 4)
+        for off in (pos.ox, pos.oy, pos.oz):
+            assert np.all(off >= -1.0) and np.all(off <= 1.0)
+
+    def test_voxels_match_grid_indexing(self, grid):
+        pos = CellOffsetPositions.from_global(
+            grid, np.array([0.3]), np.array([1.1]), np.array([3.9]))
+        assert pos.voxel[0] == grid.voxel_of_position(0.3, 1.1, 3.9)
+
+
+class TestAdvance:
+    def test_subcell_move(self, grid):
+        pos = CellOffsetPositions.from_global(
+            grid, np.array([1.0]), np.array([1.0]), np.array([1.0]))
+        pos.advance(np.array([0.05]), np.array([0.0]), np.array([0.0]))
+        x, y, z = pos.to_global()
+        assert x[0] == pytest.approx(1.05, abs=1e-6)
+        assert y[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_cell_crossing(self, grid):
+        pos = CellOffsetPositions.from_global(
+            grid, np.array([1.24]), np.array([1.0]), np.array([1.0]))
+        v0 = int(pos.voxel[0])
+        pos.advance(np.array([0.05]), np.array([0.0]), np.array([0.0]))
+        assert int(pos.voxel[0]) != v0
+        x, _, _ = pos.to_global()
+        assert x[0] == pytest.approx(1.29, abs=1e-6)
+
+    def test_periodic_wrap(self, grid):
+        lx = grid.lengths[0]
+        pos = CellOffsetPositions.from_global(
+            grid, np.array([lx - 0.05]), np.array([1.0]), np.array([1.0]))
+        pos.advance(np.array([0.2]), np.array([0.0]), np.array([0.0]))
+        x, _, _ = pos.to_global()
+        assert x[0] == pytest.approx(0.15, abs=1e-6)
+
+    def test_many_random_moves_stay_consistent(self, grid, rng):
+        n = 300
+        pos = CellOffsetPositions.from_global(
+            grid, rng.random(n) * 4, rng.random(n) * 4, rng.random(n) * 4)
+        ref = np.stack(pos.to_global())
+        for _ in range(20):
+            d = rng.uniform(-0.2, 0.2, (3, n))
+            pos.advance(*d)
+            ref += d
+            ref %= 4.0
+        got = np.stack(pos.to_global())
+        np.testing.assert_allclose(got, ref, atol=1e-5)
+
+
+class TestPrecisionClaim:
+    def test_large_box_precision_win(self):
+        """Refs [19, 20]'s motivation, demonstrated: in a big box,
+        float32 global coordinates quantize particle spacing while
+        cell offsets keep full resolution."""
+        big = Grid(4096, 2, 2, dx=1.0)
+        x_true = 4000.0 + 1e-5        # a tiny displacement far out
+        x_f32 = np.float32(4000.0 + 1e-5)
+        global_err = abs(float(x_f32) - x_true)
+        pos = CellOffsetPositions.from_global(
+            big, np.array([x_true]), np.array([0.5]), np.array([0.5]))
+        rx, _, _ = pos.to_global()
+        offset_err = abs(rx[0] - x_true)
+        # The offset layout is orders of magnitude more precise.
+        assert offset_err < global_err / 100
+        assert global_err <= global_position_error(4096.0)
+
+    def test_error_bounds_scale(self):
+        assert global_position_error(1000.0) == \
+            pytest.approx(1000 * 2**-24)
+        assert cell_offset_error(0.5) < global_position_error(1000.0)
