@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.sorting import SortKind
+from repro.kokkos.profiling import profiling_session
 from repro.machine.roofline import RooflineModel, RooflinePoint
 from repro.machine.specs import PlatformSpec, cpu_platforms
 from repro.perfmodel.kernel_cost import push_kernel_cost
@@ -69,9 +70,12 @@ def collect_push_trace(nx: int = 32, ny: int = 16, nz: int = 16,
     deck = laser_plasma_deck(nx=nx, ny=ny, nz=nz, ppc=ppc,
                              num_steps=warm_steps, seed=seed,
                              sort_interval=0)
-    sim = deck.build()
-    for _ in range(warm_steps):
-        sim.step()
+    # The warm-up steps are measurement scaffolding, not the workload
+    # under study — keep their kernel timings out of the caller's run.
+    with profiling_session():
+        sim = deck.build()
+        for _ in range(warm_steps):
+            sim.step()
     electrons = sim.get_species("electron")
     return electrons.live("voxel").copy(), sim.grid.n_voxels
 

@@ -21,7 +21,9 @@ from repro.bench.push_bench import (collect_push_trace,
 from repro.bench.rajaperf import fig3_normalized_runtimes
 from repro.bench.reporting import format_series, format_table
 from repro.bench.scaling_bench import fig9_series, fig10_series
+from repro.kokkos.profiling import profiling_session
 from repro.machine.specs import cpu_platforms, get_platform, gpu_platforms
+from repro.observability.metrics import default_registry
 from repro.simd.inventory import (breakdown_by_width, kernel_fraction,
                                   simd_fraction)
 
@@ -119,25 +121,40 @@ def section_fig10() -> str:
 
 def full_report(stream=None) -> str:
     """Regenerate every figure; returns (and optionally streams) the
-    report text. Takes a few minutes."""
+    report text. Takes a few minutes.
+
+    Each section's wall time lands in the ``report/section_seconds``
+    histogram, and the whole report runs inside a
+    ``profiling_session`` so the figure generators' internal
+    simulation runs don't leak kernel timings into each other or
+    into the caller.
+    """
     buf = io.StringIO()
+    section_seconds = default_registry().histogram("report/section_seconds")
 
     def emit(text: str) -> None:
         buf.write(text + "\n\n")
         if stream is not None:
             print(text + "\n", file=stream, flush=True)
 
+    def timed(section) -> str:
+        t0 = time.perf_counter()
+        text = section()
+        section_seconds.observe(time.perf_counter() - t0)
+        return text
+
     t0 = time.time()
-    emit("=" * 70)
-    emit("repro evaluation report (regenerates every paper figure)")
-    emit(section_fig1())
-    emit(section_fig3())
-    keys, table = collect_push_trace()
-    emit(section_fig4(keys, table))
-    emit(section_fig5_6())
-    emit(section_fig7(keys, table))
-    emit(section_fig8(keys, table))
-    emit(section_fig9())
-    emit(section_fig10())
+    with profiling_session():
+        emit("=" * 70)
+        emit("repro evaluation report (regenerates every paper figure)")
+        emit(timed(section_fig1))
+        emit(timed(section_fig3))
+        keys, table = collect_push_trace()
+        emit(timed(lambda: section_fig4(keys, table)))
+        emit(timed(section_fig5_6))
+        emit(timed(lambda: section_fig7(keys, table)))
+        emit(timed(lambda: section_fig8(keys, table)))
+        emit(timed(section_fig9))
+        emit(timed(section_fig10))
     emit(f"report generated in {time.time() - t0:.1f} s")
     return buf.getvalue()

@@ -4,6 +4,9 @@ Production codes ship drivers; this CLI exposes the library's main
 workflows without writing Python:
 
 - ``run-deck``     run a named workload deck with diagnostics
+                   (``--trace``/``--metrics`` export observability data)
+- ``trace``        run a deck under the Chrome tracer and print the
+                   span summary plus the instrumentation overhead report
 - ``tune``         show the hardware-targeted plan for a platform/problem
 - ``platforms``    list the Table-1 platform registry (+ host)
 - ``figures``      regenerate selected paper figures as text tables
@@ -42,20 +45,89 @@ def _deck_factory(name: str, steps: int | None, seed: int):
 
 def cmd_run_deck(args) -> int:
     from repro.kokkos.profiling import kernel_timings, reset_kernel_timings
+    from repro.observability.callbacks import register_tool, unregister_tool
+    from repro.observability.metrics import default_registry, set_detail
+    from repro.observability.tracer import ChromeTracer
     from repro.vpic.diagnostics import EnergyDiagnostic, energy_report
+
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
     deck = _deck_factory(args.deck, args.steps, args.seed)
     sim = deck.build()
     print(f"deck '{deck.name}': {sim.grid.n_cells} cells, "
           f"{sim.total_particles} particles, {deck.num_steps} steps")
     reset_kernel_timings()
-    diag = EnergyDiagnostic()
-    sim.run(deck.num_steps, diag,
-            sample_every=max(1, deck.num_steps // 20))
+    tracer = None
+    if trace_path or metrics_path:
+        default_registry().reset()
+        set_detail(True)
+    if trace_path:
+        tracer = ChromeTracer()
+        register_tool(tracer)
+    try:
+        diag = EnergyDiagnostic()
+        sim.run(deck.num_steps, diag,
+                sample_every=max(1, deck.num_steps // 20))
+    finally:
+        if tracer is not None:
+            unregister_tool(tracer)
+        set_detail(False)
     print(energy_report(diag))
     if args.timings:
         for label, timer in sorted(kernel_timings().items()):
             print(f"  {label:32s} {timer.seconds * 1e3:9.2f} ms "
                   f"x{timer.launches}")
+    if trace_path:
+        tracer.save(trace_path)
+        print(f"trace: {len(tracer.buffer)} spans "
+              f"({tracer.buffer.dropped} dropped) -> {trace_path}")
+    if metrics_path:
+        default_registry().save(metrics_path)
+        print(f"metrics -> {metrics_path}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.kokkos.profiling import kernel_timings, reset_kernel_timings
+    from repro.observability.metrics import default_registry, set_detail
+    from repro.observability.overhead import measure_overhead
+    from repro.observability.tracer import tracing
+
+    deck = _deck_factory(args.deck, args.steps, args.seed)
+    sim = deck.build()
+    print(f"tracing deck '{deck.name}': {sim.total_particles} particles, "
+          f"{deck.num_steps} steps")
+    reset_kernel_timings()
+    default_registry().reset()
+    set_detail(True)
+    try:
+        with tracing() as tracer:
+            sim.run(deck.num_steps)
+    finally:
+        set_detail(False)
+    out = args.out or f"{deck.name}-trace.json"
+    tracer.save(out)
+    print(f"trace: {len(tracer.buffer)} spans "
+          f"({tracer.buffer.dropped} dropped) -> {out}")
+    if args.metrics:
+        default_registry().save(args.metrics)
+        print(f"metrics -> {args.metrics}")
+
+    totals = sorted(tracer.totals_by_name().items(),
+                    key=lambda kv: kv[1][0], reverse=True)
+    print("top spans by total time:")
+    for name, (seconds, count) in totals[:10]:
+        print(f"  {name:36s} {seconds * 1e3:9.2f} ms x{count}")
+
+    # Overhead accounting: relate per-event instrumentation cost to
+    # the measured per-launch push time (the Fig. 4 kernel).
+    push = [t for label, t in kernel_timings().items()
+            if "/push/" in label or label.startswith("push/")]
+    push_mean = (sum(t.seconds for t in push)
+                 / max(1, sum(t.launches for t in push))) if push else None
+    report = measure_overhead()
+    print(report.format(kernel_seconds=push_mean,
+                        kernel_label="particle push"))
     return 0
 
 
@@ -163,7 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--timings", action="store_true")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="export a Chrome-trace JSON of the run")
+    p.add_argument("--metrics", metavar="FILE", default=None,
+                   help="export the metrics registry (.json or .csv)")
     p.set_defaults(fn=cmd_run_deck)
+
+    p = sub.add_parser("trace", help="trace a deck + overhead report")
+    p.add_argument("deck", choices=_DECKS)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="trace output path (default <deck>-trace.json)")
+    p.add_argument("--metrics", metavar="FILE", default=None,
+                   help="also export the metrics registry")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("tune", help="hardware-targeted plan")
     p.add_argument("platform", help="Table-1 platform name or 'host'")

@@ -48,6 +48,7 @@ __all__ = [
     "monotone_run_lengths",
     "is_strided_order",
     "is_tiled_strided_order",
+    "disorder_fraction",
 ]
 
 
@@ -206,6 +207,20 @@ def apply_sort(kind: SortKind, keys: np.ndarray, *values,
 # ---------------------------------------------------------------------------
 # Order inspectors (tests + Figure 2 reproduction)
 # ---------------------------------------------------------------------------
+
+def disorder_fraction(keys: np.ndarray) -> float:
+    """Fraction of adjacent pairs out of non-decreasing order.
+
+    0.0 for cell-sorted keys, ~0.5 for a random permutation — the
+    cheap O(N) disorder number the observability layer records before
+    and after each in-loop sort to correlate push cost with particle
+    order decay (the mechanism behind the sort-interval ablation).
+    """
+    keys = np.asarray(keys)
+    if keys.size < 2:
+        return 0.0
+    return float(np.mean(np.diff(keys) < 0))
+
 
 def monotone_run_lengths(keys: np.ndarray) -> np.ndarray:
     """Lengths of maximal strictly-increasing runs in *keys*."""

@@ -73,6 +73,7 @@ from repro.kokkos.profiling import (
     push_region,
     pop_region,
     profiling_region,
+    profiling_session,
     KernelTimer,
     kernel_timings,
     reset_kernel_timings,
@@ -91,6 +92,6 @@ __all__ = [
     "atomic_fetch_add", "AtomicCounters", "atomic_counters",
     "reset_atomic_counters",
     "sort_by_key", "argsort_stable", "BinSort",
-    "push_region", "pop_region", "profiling_region",
+    "push_region", "pop_region", "profiling_region", "profiling_session",
     "KernelTimer", "kernel_timings", "reset_kernel_timings",
 ]

@@ -14,6 +14,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.observability import callbacks as _tools
+
 __all__ = [
     "KokkosRuntime",
     "initialize",
@@ -87,9 +89,15 @@ def finalize() -> None:
 def fence(label: str = "") -> None:
     """Device synchronization barrier.
 
-    All simulated execution here is synchronous, so this is a no-op
-    kept for API fidelity (ported code calls it around timers).
+    All simulated execution here is synchronous, so the barrier
+    itself is a no-op kept for API fidelity (ported code calls it
+    around timers) — but attached profiling tools still see the
+    begin/end fence pair, matching Kokkos-Tools' fence callbacks.
     """
+    if _tools.tools_active():
+        name = label or "fence"
+        fid = _tools.dispatch_begin_fence(name)
+        _tools.dispatch_end_fence(name, fid)
 
 
 @contextlib.contextmanager

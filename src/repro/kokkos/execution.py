@@ -25,6 +25,7 @@ import numpy as np
 
 from repro._util import check_positive
 from repro.machine.specs import PlatformKind, PlatformSpec
+from repro.observability import callbacks as _tools
 
 __all__ = [
     "ExecutionSpace",
@@ -56,8 +57,15 @@ class ExecutionSpace(abc.ABC):
         """Lanes that execute in lockstep (SIMD width / warp size)."""
 
     @abc.abstractmethod
-    def partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
+    def _partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
         """Yield index batches covering ``[begin, end)`` in order."""
+
+    def partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
+        """Index batches for ``[begin, end)``; announces the launch
+        to attached profiling tools (once per launch, not per batch)."""
+        if _tools.tools_active():
+            _tools.dispatch_partition(self.name, begin, end)
+        return self._partition(begin, end)
 
     def batches(self, begin: int, end: int) -> list[np.ndarray]:
         """Materialised :meth:`partition` (convenience for models)."""
@@ -84,7 +92,7 @@ class Serial(ExecutionSpace):
     def group_size(self) -> int:
         return 1
 
-    def partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
+    def _partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
         if end > begin:
             yield np.arange(begin, end, dtype=np.int64)
 
@@ -121,7 +129,7 @@ class OpenMP(ExecutionSpace):
             return isa_lanes(isa, 4)
         return 8
 
-    def partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
+    def _partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
         n = end - begin
         if n <= 0:
             return
@@ -163,7 +171,7 @@ class _SimtSpace(ExecutionSpace):
     def group_size(self) -> int:
         return self.warp_size
 
-    def partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
+    def _partition(self, begin: int, end: int) -> Iterator[np.ndarray]:
         n = end - begin
         if n <= 0:
             return

@@ -43,7 +43,7 @@ def parallel_for(policy, kernel: Callable, label: str = "parallel_for") -> None:
     - ``MDRangePolicy``: ``kernel(*coords)`` with coordinate arrays.
     - ``TeamPolicy``: ``kernel(team_member)`` per team.
     """
-    with record_kernel(label):
+    with record_kernel(label, kind="parallel_for"):
         if isinstance(policy, MDRangePolicy):
             for batch in policy.batches():
                 kernel(*policy.unflatten(batch))
@@ -65,7 +65,7 @@ def parallel_reduce(policy, kernel: Callable, reducer: Reducer = Sum,
     scalar for that batch or an array of per-iteration contributions
     (folded with ``reducer.fold_batch``). Returns the joined total.
     """
-    with record_kernel(label):
+    with record_kernel(label, kind="parallel_reduce"):
         rp = _as_range_policy(policy)
         partials = []
         for batch in rp.batches():
@@ -86,7 +86,7 @@ def parallel_scan(policy, values: np.ndarray,
     deterministic equivalent of Kokkos' two-pass scan — but dispatched
     through the policy so profiling sees it as a kernel.
     """
-    with record_kernel(label):
+    with record_kernel(label, kind="parallel_scan"):
         rp = _as_range_policy(policy)
         values = np.asarray(values)
         if values.shape[0] != rp.size:

@@ -4,20 +4,29 @@ The paper's evaluation separates "particle push kernel" time from full
 simulation time; this module provides the hooks that make that split
 observable in the reproduction: nested named regions and per-kernel
 wall-time accumulation.
+
+Every hook also dispatches into the pluggable tool registry
+(:mod:`repro.observability.callbacks`), the way ``Kokkos::Profiling``
+forwards to loaded Kokkos-Tools libraries — so a tracer or counter
+tool sees every kernel begin/end and region push/pop without any
+kernel code changing. With no tool registered, dispatch is a single
+boolean check.
 """
 
 from __future__ import annotations
 
 import contextlib
 import time
-from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
+
+from repro.observability import callbacks as _tools
 
 __all__ = [
     "push_region",
     "pop_region",
     "profiling_region",
+    "profiling_session",
     "record_kernel",
     "KernelTimer",
     "kernel_timings",
@@ -51,13 +60,18 @@ _timers: dict[str, KernelTimer] = {}
 def push_region(name: str) -> None:
     """Enter a named profiling region (``Kokkos::Profiling::pushRegion``)."""
     _region_stack.append(name)
+    if _tools.tools_active():
+        _tools.dispatch_push_region(name)
 
 
 def pop_region() -> str:
     """Leave the innermost region, returning its name."""
     if not _region_stack:
         raise RuntimeError("pop_region with empty region stack")
-    return _region_stack.pop()
+    name = _region_stack.pop()
+    if _tools.tools_active():
+        _tools.dispatch_pop_region(name)
+    return name
 
 
 def region_stack() -> tuple[str, ...]:
@@ -82,9 +96,17 @@ def _qualified(label: str) -> str:
 
 
 @contextlib.contextmanager
-def record_kernel(label: str) -> Iterator[None]:
-    """Time one kernel launch under the current region path."""
+def record_kernel(label: str, kind: str = "kernel") -> Iterator[None]:
+    """Time one kernel launch under the current region path.
+
+    *kind* names the dispatch pattern for attached tools
+    (``parallel_for`` / ``parallel_reduce`` / ``parallel_scan`` /
+    ``comm``; default plain ``kernel``) — see
+    :data:`repro.observability.callbacks.KERNEL_KINDS`.
+    """
     key = _qualified(label)
+    active = _tools.tools_active()
+    kid = _tools.dispatch_begin_kernel(kind, key) if active else -1
     t0 = time.perf_counter()
     try:
         yield
@@ -94,6 +116,8 @@ def record_kernel(label: str) -> Iterator[None]:
         if timer is None:
             timer = _timers[key] = KernelTimer(key)
         timer.add(dt)
+        if active:
+            _tools.dispatch_end_kernel(kind, key, kid, dt)
 
 
 def kernel_timings() -> dict[str, KernelTimer]:
@@ -104,3 +128,24 @@ def kernel_timings() -> dict[str, KernelTimer]:
 def reset_kernel_timings() -> None:
     """Clear accumulated timers (tests and benchmark harness)."""
     _timers.clear()
+
+
+@contextlib.contextmanager
+def profiling_session() -> Iterator[None]:
+    """Isolate timer and region state for one measurement.
+
+    Snapshots the accumulated timers and the region stack, starts the
+    block with both empty, and restores the outer state on exit — so
+    figure generators and benchmarks that run simulations internally
+    stop leaking timings into each other (and into the caller's run).
+    """
+    saved_timers = dict(_timers)
+    saved_stack = list(_region_stack)
+    _timers.clear()
+    _region_stack.clear()
+    try:
+        yield
+    finally:
+        _timers.clear()
+        _timers.update(saved_timers)
+        _region_stack[:] = saved_stack

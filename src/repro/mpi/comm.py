@@ -24,6 +24,13 @@ from typing import Any, Callable
 import numpy as np
 
 from repro._util import check_positive
+from repro.observability.metrics import default_registry
+
+# Instrument objects are cached at import: registry resets zero them
+# in place, so these references stay valid for the process lifetime.
+_m_messages = default_registry().counter("mpi/messages")
+_m_bytes = default_registry().counter("mpi/bytes")
+_m_dropped = default_registry().counter("mpi/log_dropped")
 
 __all__ = ["World", "Communicator", "Request", "MessageLog", "SentMessage"]
 
@@ -40,29 +47,63 @@ class SentMessage:
 
 @dataclass
 class MessageLog:
-    """Counts and sizes of everything the world has sent."""
+    """Counts and sizes of everything the world has sent.
 
-    messages: list[SentMessage] = field(default_factory=list)
+    ``capacity`` bounds the retained per-message rows: once full, the
+    *oldest* row is evicted (ring semantics) and ``dropped`` counts
+    the loss — long runs keep recent traffic without growing without
+    bound. The aggregate views (``count``, ``total_bytes``,
+    ``per_rank_bytes``) are running tallies and stay exact regardless
+    of eviction; only row-level consumers (e.g. the cost model's
+    ``price_log``) see the bounded window.
+    """
+
+    messages: deque = field(default_factory=deque)
+    capacity: int | None = None
+    dropped: int = 0
+    _total_count: int = 0
+    _total_bytes: int = 0
+    _rank_bytes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None:
+            check_positive("capacity", self.capacity)
 
     def record(self, source: int, dest: int, tag: int, nbytes: int) -> None:
+        self._total_count += 1
+        self._total_bytes += nbytes
+        self._rank_bytes[source] = self._rank_bytes.get(source, 0) + nbytes
+        if self.capacity is not None and len(self.messages) >= self.capacity:
+            self.messages.popleft()
+            self.dropped += 1
+            _m_dropped.inc()
         self.messages.append(SentMessage(source, dest, tag, nbytes))
+        _m_messages.inc()
+        _m_bytes.inc(nbytes)
 
     @property
     def count(self) -> int:
-        return len(self.messages)
+        """Messages recorded (including any evicted rows)."""
+        return self._total_count
 
     @property
     def total_bytes(self) -> int:
-        return sum(m.nbytes for m in self.messages)
+        """Payload bytes recorded (including any evicted rows)."""
+        return self._total_bytes
 
     def per_rank_bytes(self, n_ranks: int) -> np.ndarray:
         out = np.zeros(n_ranks, dtype=np.int64)
-        for m in self.messages:
-            out[m.source] += m.nbytes
+        for rank, nbytes in self._rank_bytes.items():
+            if 0 <= rank < n_ranks:
+                out[rank] = nbytes
         return out
 
     def clear(self) -> None:
         self.messages.clear()
+        self.dropped = 0
+        self._total_count = 0
+        self._total_bytes = 0
+        self._rank_bytes.clear()
 
 
 def _payload_bytes(payload: Any) -> int:
@@ -107,10 +148,10 @@ class Request:
 class World:
     """N simulated ranks sharing mailboxes and a message log."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, log_capacity: int | None = None):
         check_positive("size", size)
         self.size = size
-        self.log = MessageLog()
+        self.log = MessageLog(capacity=log_capacity)
         # mailbox[(dest, source, tag)] -> deque of payloads
         self._mail: dict[tuple[int, int, int], deque] = defaultdict(deque)
         self._collective: dict[tuple[str, int], dict[int, Any]] = {}

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kokkos.profiling import record_kernel
 from repro.mpi.comm import World
 from repro.mpi.decomposition import CartDecomposition
+from repro.observability.metrics import default_registry
 
 __all__ = ["exchange_ghost_cells", "reduce_ghost_sums"]
 
@@ -52,6 +54,12 @@ def exchange_ghost_cells(world: World, decomp: CartDecomposition,
     """
     if len(arrays) != world.size:
         raise ValueError(f"need {world.size} arrays, got {len(arrays)}")
+    default_registry().counter("halo/exchanges").inc()
+    with record_kernel("halo/exchange", kind="comm"):
+        _exchange_ghost_cells(world, decomp, arrays, tag_base)
+
+
+def _exchange_ghost_cells(world, decomp, arrays, tag_base):
     # Axis-sequential (x, then y, then z): each later axis's slab
     # spans the earlier axes' ghost layers, so edge and corner ghosts
     # are filled correctly by the time the last axis completes.
@@ -86,6 +94,12 @@ def reduce_ghost_sums(world: World, decomp: CartDecomposition,
     boundary layer (current-deposition reduction), then zero ghosts."""
     if len(arrays) != world.size:
         raise ValueError(f"need {world.size} arrays, got {len(arrays)}")
+    default_registry().counter("halo/reductions").inc()
+    with record_kernel("halo/reduce", kind="comm"):
+        _reduce_ghost_sums(world, decomp, arrays, tag_base)
+
+
+def _reduce_ghost_sums(world, decomp, arrays, tag_base):
     # Axis-sequential so edge/corner spill (a particle depositing into
     # a diagonal ghost) cascades: the x-fold lands corner charge into
     # the x-neighbor's y-ghost, which the y-fold then delivers.

@@ -1,0 +1,61 @@
+"""Observability: tracing, metrics, and overhead accounting.
+
+The paper's evaluation lives and dies on *attribution* — splitting
+particle-push time from sort time from field-solve time and
+correlating it with particle disorder and communication volume
+(Figs. 4-10). VPIC 2.0 gets this from the Kokkos-Tools profiling
+interface; this subpackage is the reproduction's equivalent
+measurement substrate:
+
+- :mod:`~repro.observability.callbacks` — a Kokkos-Tools-style
+  pluggable callback registry (``begin_parallel_for`` /
+  ``end_parallel_for``, ``begin_fence``, ``push_region`` /
+  ``pop_region``, ...). The kokkos layer dispatches into it, so tools
+  attach without touching kernel code.
+- :mod:`~repro.observability.tracer` — a tool turning those callbacks
+  into timestamped spans in a bounded ring buffer, exported as
+  Chrome-trace JSON (loadable in ``chrome://tracing`` / Perfetto).
+- :mod:`~repro.observability.metrics` — a registry of counters,
+  gauges, and histograms (p50/p95/max) that the simulation loop, the
+  sorter, the MPI substrate, and the bench harness report into, with
+  JSON/CSV export.
+- :mod:`~repro.observability.overhead` — self-measurement of what the
+  instrumentation itself costs, on and off.
+
+Everything is **off by default**: with no tool registered the
+dispatch sites reduce to one boolean check, and the expensive
+derived metrics (energy drift, sort disorder) are gated behind
+:func:`~repro.observability.metrics.set_detail`.
+
+This module imports nothing from the rest of ``repro`` at import
+time — the kokkos layer imports *it*, so the dependency edge must
+stay one-way.
+"""
+
+from repro.observability.callbacks import (
+    clear_tools,
+    register_tool,
+    registered_tools,
+    tools_active,
+    unregister_tool,
+)
+from repro.observability.events import CounterSeries, RingBuffer, SpanEvent
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    detail_enabled,
+    set_detail,
+)
+from repro.observability.tracer import ChromeTracer, tracing
+
+__all__ = [
+    "register_tool", "unregister_tool", "registered_tools",
+    "tools_active", "clear_tools",
+    "SpanEvent", "CounterSeries", "RingBuffer",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "default_registry", "set_detail", "detail_enabled",
+    "ChromeTracer", "tracing",
+]

@@ -18,11 +18,13 @@ time the way the paper's runtime metric does.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.kokkos.profiling import profiling_region, record_kernel
+from repro.observability.metrics import default_registry, detail_enabled
 from repro.vpic.boundary import BoundaryKind, apply_particle_boundaries
 from repro.vpic.boris import advance_positions, boris_push
 from repro.vpic.deck import Deck, DepositionKind, FieldBoundaryKind
@@ -82,11 +84,14 @@ class Simulation:
             deck.field_init(sim)
         if deck.perturbation is not None:
             deck.perturbation(sim)
-        sim._solver = sim._make_solver()
+        # __post_init__ already built the solver; it holds the same
+        # FieldArrays object that field_init/perturbation mutate in
+        # place, so no rebuild is needed here.
         return sim
 
     def __post_init__(self) -> None:
         self._solver = self._make_solver()
+        self._energy0: float | None = None
 
     def _make_solver(self) -> FieldSolver:
         if self.field_boundary is FieldBoundaryKind.ABSORBING_X:
@@ -143,10 +148,13 @@ class Simulation:
 
     def step(self) -> None:
         """Advance the whole system by one timestep."""
+        t0 = time.perf_counter()
+        pushed = 0
         with profiling_region("step"):
             self._solver.advance_b(0.5)
             self.fields.clear_currents()
             for sp in self.species:
+                pushed += sp.n
                 self.push_species(sp)
             for sp in self.species:
                 with record_kernel(f"boundary/{sp.name}"):
@@ -160,6 +168,27 @@ class Simulation:
                 for sp in self.species:
                     with record_kernel(f"sort/{sp.name}"):
                         self.sort_step.apply(sp)
+        reg = default_registry()
+        reg.counter("sim/steps").inc()
+        reg.counter("sim/particles_pushed").inc(pushed)
+        reg.histogram("sim/step_seconds").observe(time.perf_counter() - t0)
+        if detail_enabled():
+            self._record_energy_drift(reg)
+
+    def _record_energy_drift(self, reg) -> None:
+        """Energy-conservation drift gauge (detail-mode metric).
+
+        O(N) over particles, so only collected when observability
+        detail is enabled; the reference energy is the total at the
+        first sampled step.
+        """
+        e, b = self.fields.field_energy()
+        total = e + b + sum(sp.kinetic_energy() for sp in self.species)
+        if self._energy0 is None:
+            self._energy0 = total
+        if self._energy0:
+            drift = abs(total - self._energy0) / abs(self._energy0)
+            reg.gauge("sim/energy_drift").set(drift)
 
     def run(self, num_steps: int, diagnostic=None,
             sample_every: int = 1) -> None:

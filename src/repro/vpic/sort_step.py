@@ -14,8 +14,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.sorting import SortKind, random_order, strided_keys, tiled_strided_keys
+from repro.core.sorting import (SortKind, disorder_fraction, random_order,
+                                strided_keys, tiled_strided_keys)
 from repro.core.tuning import SortPlan
+from repro.observability.metrics import default_registry, detail_enabled
 from repro.vpic.species import Species
 
 __all__ = ["SortStep"]
@@ -69,9 +71,18 @@ class SortStep:
         """Reorder a species in place; returns the permutation."""
         if self.kind is SortKind.NONE or species.n == 0:
             return None
+        reg = default_registry()
+        detail = detail_enabled()
+        if detail:
+            reg.gauge("sort/disorder_before").set(
+                disorder_fraction(species.live("voxel")))
         perm = self.permutation_for(species.live("voxel"))
         for name in Species._ARRAYS:
             arr = species.live(name)
             arr[...] = arr[perm]
         self.sorts_performed += 1
+        reg.counter("sort/applied").inc()
+        if detail:
+            reg.gauge("sort/disorder_after").set(
+                disorder_fraction(species.live("voxel")))
         return perm
