@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Time the evaluation report and record the result in BENCH_2.json.
+
+Runs ``full_report()`` end to end (cold caches), then once more warm,
+times each figure section individually, and snapshots the prediction
+memo's hit statistics. The JSON this writes is the baseline the
+``perf``-marked regression test (tests/test_perf_regression.py)
+compares against:
+
+    PYTHONPATH=src python scripts/bench_report.py
+    PYTHONPATH=src python -m pytest -m perf
+
+Use ``--check`` to print timings without rewriting the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+OUT_PATH = REPO / "BENCH_2.json"
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def time_sections() -> dict[str, float]:
+    from repro.bench import runner
+    from repro.bench.push_bench import collect_push_trace
+
+    sections: dict[str, float] = {}
+
+    def timed(name, fn):
+        t0 = time.perf_counter()
+        fn()
+        sections[name] = round(time.perf_counter() - t0, 3)
+
+    timed("fig1", runner.section_fig1)
+    timed("fig3", runner.section_fig3)
+    t0 = time.perf_counter()
+    keys, table = collect_push_trace()
+    sections["collect_push_trace"] = round(time.perf_counter() - t0, 3)
+    timed("fig4", lambda: runner.section_fig4(keys, table))
+    timed("fig5_6", runner.section_fig5_6)
+    timed("fig7", lambda: runner.section_fig7(keys, table))
+    timed("fig8", lambda: runner.section_fig8(keys, table))
+    timed("fig9", runner.section_fig9)
+    timed("fig10", runner.section_fig10)
+    return sections
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="print timings without rewriting BENCH_2.json")
+    args = parser.parse_args(argv)
+
+    from repro.bench.runner import full_report
+    from repro.perfmodel.memo import default_memo
+
+    t0 = time.perf_counter()
+    report = full_report()
+    cold_seconds = time.perf_counter() - t0
+    memo_cold = default_memo().stats()
+
+    t0 = time.perf_counter()
+    full_report()
+    warm_seconds = time.perf_counter() - t0
+
+    sections = time_sections()
+
+    record = {
+        "benchmark": "full_report",
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "git_head": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "full_report_seconds": round(cold_seconds, 3),
+        "full_report_warm_seconds": round(warm_seconds, 3),
+        "report_chars": len(report),
+        "sections_seconds": sections,
+        "memo": {
+            "hits": memo_cold["hits"],
+            "misses": memo_cold["misses"],
+            "hit_rate": round(memo_cold["hit_rate"], 4),
+        },
+    }
+
+    print(f"full_report (cold): {cold_seconds:.2f} s")
+    print(f"full_report (warm): {warm_seconds:.2f} s")
+    for name, secs in sections.items():
+        print(f"  {name:20s} {secs:8.3f} s")
+    print(f"memo: {memo_cold['hits']} hits / {memo_cold['misses']} misses "
+          f"({memo_cold['hit_rate']:.0%})")
+
+    if args.check:
+        return 0
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"baseline -> {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,9 +20,12 @@ mechanism model over the *real* index arrays each sort produces.
 from __future__ import annotations
 
 import enum
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
+from repro.bench.parallel import parallel_map
 from repro.core.sorting import (SortKind, random_order, standard_sort,
                                 strided_sort, tiled_strided_sort)
 from repro.core.tuning import select_tile_size
@@ -39,6 +42,7 @@ __all__ = [
     "REPS",
     "make_keys",
     "apply_ordering",
+    "shared_ordering",
     "scaled_tile_size",
     "run_gather_scatter",
     "stencil_trace",
@@ -114,6 +118,47 @@ def apply_ordering(kind: SortKind, keys: np.ndarray,
     return k
 
 
+#: Process-wide cache of ordered key arrays. An ordering depends only
+#: on (key content, sort kind, tile size, seed) — not on the platform
+#: — so the per-platform loops of Figures 5-8 reuse one sort instead
+#: of re-sorting per platform, and Figure 8 reuses Figure 7's work.
+_ORDERING_CACHE: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_ORDERING_CAPACITY = 32
+_ordering_lock = threading.Lock()
+
+
+def _keys_digest(keys: np.ndarray) -> str:
+    from repro.perfmodel.memo import array_digest
+    return array_digest(keys)
+
+
+def shared_ordering(kind: SortKind, keys: np.ndarray,
+                    platform: PlatformSpec, unique: int,
+                    seed: int = 0) -> np.ndarray:
+    """Content-cached :func:`apply_ordering`.
+
+    Returns the ordered array for (keys, kind, effective tile, seed),
+    computing it at most once per distinct combination. The returned
+    array is shared across callers and marked read-only — build traces
+    from it, don't permute it in place.
+    """
+    tile = (scaled_tile_size(platform, unique)
+            if kind is SortKind.TILED_STRIDED else None)
+    cache_key = (_keys_digest(keys), kind.value, tile, seed)
+    with _ordering_lock:
+        cached = _ORDERING_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    ordered = apply_ordering(kind, keys, platform, unique, seed=seed)
+    ordered.setflags(write=False)
+    with _ordering_lock:
+        if cache_key not in _ORDERING_CACHE and \
+                len(_ORDERING_CACHE) >= _ORDERING_CAPACITY:
+            _ORDERING_CACHE.popitem(last=False)
+        _ORDERING_CACHE[cache_key] = ordered
+    return ordered
+
+
 def run_gather_scatter(keys: np.ndarray, table: np.ndarray,
                        values: np.ndarray, out: np.ndarray) -> None:
     """The actual microbenchmark kernel (executable; §5.4):
@@ -165,6 +210,12 @@ def bandwidth_table(platforms: list[PlatformSpec], pattern: KeyPattern,
 
     Returns ``{platform: {sort: Prediction}}``; bandwidths are
     ``prediction.effective_bandwidth_gbs``.
+
+    The platform x ordering cells are independent, so they are
+    evaluated through :func:`repro.bench.parallel.parallel_map` and
+    merged back in deterministic (platform, ordering) input order;
+    each distinct ordering is sorted once and shared across platforms
+    via :func:`shared_ordering`.
     """
     keys, table = make_keys(pattern, unique, seed=seed)
     if pattern is KeyPattern.CONTIGUOUS:
@@ -173,17 +224,21 @@ def bandwidth_table(platforms: list[PlatformSpec], pattern: KeyPattern,
         cache_scale = unique / FULL_UNIQUE_KEYS
     cost = stencil_cost() if pattern is KeyPattern.STENCIL \
         else gather_scatter_cost()
+    cells = [(p, kind) for p in platforms for kind in orderings]
+
+    def run_cell(cell: tuple) -> Prediction:
+        p, kind = cell
+        ordered = shared_ordering(kind, keys, p, table, seed=seed)
+        if pattern is KeyPattern.STENCIL:
+            trace = stencil_trace(ordered, table, cache_scale)
+        else:
+            trace = gather_scatter_trace(ordered, table,
+                                         cache_scale=cache_scale,
+                                         label=pattern.value)
+        return predict_time(p, trace, cost)
+
+    predictions = parallel_map(run_cell, cells)
     out: dict[str, dict[str, Prediction]] = {}
-    for p in platforms:
-        row: dict[str, Prediction] = {}
-        for kind in orderings:
-            ordered = apply_ordering(kind, keys, p, table, seed=seed)
-            if pattern is KeyPattern.STENCIL:
-                trace = stencil_trace(ordered, table, cache_scale)
-            else:
-                trace = gather_scatter_trace(ordered, table,
-                                             cache_scale=cache_scale,
-                                             label=pattern.value)
-            row[kind.value] = predict_time(p, trace, cost)
-        out[p.name] = row
+    for (p, kind), pred in zip(cells, predictions):
+        out.setdefault(p.name, {})[kind.value] = pred
     return out

@@ -1,0 +1,60 @@
+"""Order-preserving parallel fan-out for independent bench cells.
+
+The figure generators evaluate grids of independent (platform x
+strategy/ordering) cells, and the report runs independent sections.
+:func:`parallel_map` fans such work across a thread pool — numpy
+releases the GIL in the sort/ufunc kernels that dominate each cell,
+so threads give real concurrency on multi-core hosts — while always
+returning results in input order, keeping every merged table and
+report byte-identical to the serial path.
+
+Knobs (environment):
+
+- ``REPRO_PARALLEL=0`` forces the serial path everywhere;
+- ``REPRO_PARALLEL_WORKERS=<n>`` overrides the worker count
+  (default: ``os.cpu_count()``, capped at 8).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["fanout_workers", "parallel_map", "parallel_enabled"]
+
+T = TypeVar("T")
+_MAX_WORKERS = 8
+
+
+def parallel_enabled() -> bool:
+    return os.environ.get("REPRO_PARALLEL", "1") != "0"
+
+
+def fanout_workers() -> int:
+    """Worker count for bench fan-out (>=1)."""
+    override = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(1, min(_MAX_WORKERS, os.cpu_count() or 1))
+
+
+def parallel_map(fn: Callable[..., T], items: Sequence | Iterable,
+                 max_workers: int | None = None) -> list[T]:
+    """``[fn(item) for item in items]`` with a thread-pool fan-out.
+
+    Results always come back in input order (deterministic merge), and
+    the serial path is taken whenever parallelism is disabled, only
+    one worker is available, or there's at most one item — so output
+    never depends on scheduling.
+    """
+    items = list(items)
+    workers = max_workers if max_workers is not None else fanout_workers()
+    workers = min(workers, len(items))
+    if not parallel_enabled() or workers <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

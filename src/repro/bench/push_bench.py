@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bench.parallel import parallel_map
 from repro.core.sorting import SortKind
 from repro.kokkos.profiling import profiling_session
 from repro.machine.roofline import RooflineModel, RooflinePoint
@@ -108,8 +109,8 @@ def push_trace_from_keys(keys: np.ndarray, table_entries: int,
 
 def _ordered(keys: np.ndarray, kind: SortKind, platform: PlatformSpec,
              table_entries: int) -> np.ndarray:
-    from repro.bench.gather_scatter import apply_ordering
-    return apply_ordering(kind, keys, platform, table_entries)
+    from repro.bench.gather_scatter import shared_ordering
+    return shared_ordering(kind, keys, platform, table_entries)
 
 
 def fig4_strategy_speedups(platforms: list[PlatformSpec] | None = None,
@@ -126,18 +127,29 @@ def fig4_strategy_speedups(platforms: list[PlatformSpec] | None = None,
     if keys is None or table_entries is None:
         keys, table_entries = collect_push_trace()
     cost = push_kernel_cost()
+    # The standard sort does not depend on the platform, so every cell
+    # prices the same trace; the platform x strategy cells themselves
+    # are independent and fan out through parallel_map.
+    ordered = _ordered(keys, SortKind.STANDARD, platforms[0], table_entries)
+    trace = push_trace_from_keys(ordered, table_entries, atomic=False)
+    cells = [(p, s) for p in platforms
+             for s in (Strategy.AUTO, Strategy.GUIDED, Strategy.MANUAL,
+                       Strategy.ADHOC)]
+
+    def run_cell(cell: tuple) -> Prediction | None:
+        p, s = cell
+        try:
+            return predict_time(p, trace, cost, s)
+        except LookupError:
+            return None
+
+    predictions = parallel_map(run_cell, cells)
     out: dict = {}
     for p in platforms:
-        ordered = _ordered(keys, SortKind.STANDARD, p, table_entries)
-        trace = push_trace_from_keys(ordered, table_entries, atomic=False)
-        row: dict = {}
-        for s in (Strategy.AUTO, Strategy.GUIDED, Strategy.MANUAL,
-                  Strategy.ADHOC):
-            try:
-                row[s.value] = predict_time(p, trace, cost, s)
-            except LookupError:
-                continue
-        out[p.name] = row
+        out[p.name] = {}
+    for (p, s), pred in zip(cells, predictions):
+        if pred is not None:
+            out[p.name][s.value] = pred
     return out
 
 
@@ -150,18 +162,24 @@ def fig7_sort_runtimes(platforms: list[PlatformSpec],
     """
     if keys is None or table_entries is None:
         keys, table_entries = collect_push_trace()
-    cost = push_kernel_cost()
-    out: dict = {}
     for p in platforms:
         if not p.is_gpu:
             raise ValueError(f"Figure 7 is a GPU study; got {p.name}")
-        row: dict = {}
-        for kind in (SortKind.RANDOM, SortKind.STANDARD, SortKind.STRIDED,
-                     SortKind.TILED_STRIDED):
-            ordered = _ordered(keys, kind, p, table_entries)
-            trace = push_trace_from_keys(ordered, table_entries, atomic=True)
-            row[kind.value] = predict_time(p, trace, cost)
-        out[p.name] = row
+    cost = push_kernel_cost()
+    cells = [(p, kind) for p in platforms
+             for kind in (SortKind.RANDOM, SortKind.STANDARD,
+                          SortKind.STRIDED, SortKind.TILED_STRIDED)]
+
+    def run_cell(cell: tuple) -> Prediction:
+        p, kind = cell
+        ordered = _ordered(keys, kind, p, table_entries)
+        trace = push_trace_from_keys(ordered, table_entries, atomic=True)
+        return predict_time(p, trace, cost)
+
+    predictions = parallel_map(run_cell, cells)
+    out: dict = {}
+    for (p, kind), pred in zip(cells, predictions):
+        out.setdefault(p.name, {})[kind.value] = pred
     return out
 
 

@@ -9,11 +9,13 @@ source of the measured numbers recorded there. The CLI exposes it as
 from __future__ import annotations
 
 import io
+import threading
 import time
 
 import numpy as np
 
 from repro.bench.gather_scatter import KeyPattern, bandwidth_table
+from repro.bench.parallel import parallel_map
 from repro.bench.push_bench import (collect_push_trace,
                                     fig4_strategy_speedups,
                                     fig7_sort_runtimes,
@@ -121,7 +123,16 @@ def section_fig10() -> str:
 
 def full_report(stream=None) -> str:
     """Regenerate every figure; returns (and optionally streams) the
-    report text. Takes a few minutes.
+    report text.
+
+    The push trace is collected first (it runs a real simulation
+    inside its own ``profiling_session``, which swaps global timer
+    state and must not overlap other work); the figure sections are
+    then independent and fan out through
+    :func:`repro.bench.parallel.parallel_map`, with the results
+    emitted in the fixed section order — so the document is
+    byte-identical to a serial run. With ``stream`` set, sections
+    print in order once the fan-out completes.
 
     Each section's wall time lands in the ``report/section_seconds``
     histogram, and the whole report runs inside a
@@ -131,6 +142,7 @@ def full_report(stream=None) -> str:
     """
     buf = io.StringIO()
     section_seconds = default_registry().histogram("report/section_seconds")
+    observe_lock = threading.Lock()
 
     def emit(text: str) -> None:
         buf.write(text + "\n\n")
@@ -140,7 +152,8 @@ def full_report(stream=None) -> str:
     def timed(section) -> str:
         t0 = time.perf_counter()
         text = section()
-        section_seconds.observe(time.perf_counter() - t0)
+        with observe_lock:
+            section_seconds.observe(time.perf_counter() - t0)
         return text
 
     t0 = time.time()
@@ -150,11 +163,15 @@ def full_report(stream=None) -> str:
         emit(timed(section_fig1))
         emit(timed(section_fig3))
         keys, table = collect_push_trace()
-        emit(timed(lambda: section_fig4(keys, table)))
-        emit(timed(section_fig5_6))
-        emit(timed(lambda: section_fig7(keys, table)))
-        emit(timed(lambda: section_fig8(keys, table)))
-        emit(timed(section_fig9))
-        emit(timed(section_fig10))
+        sections = [
+            lambda: section_fig4(keys, table),
+            section_fig5_6,
+            lambda: section_fig7(keys, table),
+            lambda: section_fig8(keys, table),
+            section_fig9,
+            section_fig10,
+        ]
+        for text in parallel_map(timed, sections):
+            emit(text)
     emit(f"report generated in {time.time() - t0:.1f} s")
     return buf.getvalue()

@@ -206,7 +206,20 @@ def cmd_scaling(args) -> int:
 
 def cmd_report(args) -> int:
     from repro.bench.runner import full_report
+    from repro.observability.metrics import default_registry
+    from repro.perfmodel.memo import default_memo
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        default_registry().reset()
     full_report(stream=sys.stdout)
+    if metrics_path:
+        default_registry().save(metrics_path)
+        stats = default_memo().stats()
+        print(f"prediction memo: {stats['hits']} hits / "
+              f"{stats['misses']} misses "
+              f"({stats['hit_rate']:.0%} hit rate, "
+              f"{stats['entries']} entries)")
+        print(f"metrics -> {metrics_path}")
     return 0
 
 
@@ -269,6 +282,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_scaling)
 
     p = sub.add_parser("report", help="regenerate the full evaluation")
+    p.add_argument("--metrics", metavar="FILE", default=None,
+                   help="export the metrics registry (.json or .csv), "
+                        "including perfmodel/memo_* counters and "
+                        "report/section_seconds")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("checkpoint", help="run + checkpoint-roundtrip")

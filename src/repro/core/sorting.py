@@ -34,7 +34,7 @@ from repro._util import check_positive
 from repro.kokkos.atomics import atomic_fetch_add
 from repro.kokkos.parallel import parallel_for
 from repro.kokkos.policy import RangePolicy
-from repro.kokkos.sort import sort_by_key
+from repro.kokkos.sort import argsort_stable, sort_by_key
 
 __all__ = [
     "SortKind",
@@ -232,31 +232,40 @@ def monotone_run_lengths(keys: np.ndarray) -> np.ndarray:
     return np.diff(bounds)
 
 
+def _occurrence_index(keys: np.ndarray) -> np.ndarray:
+    """occ[i] = number of earlier elements equal to ``keys[i]``."""
+    n = keys.size
+    order = argsort_stable(keys)
+    sorted_keys = keys[order]
+    idx = np.arange(n, dtype=np.int64)
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    group_start = np.maximum.accumulate(np.where(new_group, idx, 0))
+    occ = np.empty(n, dtype=np.int64)
+    occ[order] = idx - group_start
+    return occ
+
+
 def is_strided_order(keys: np.ndarray) -> bool:
     """True if *keys* is a sequence of strictly increasing rounds with
     each key at most once per round and rounds shrinking (suffix
-    structure of Algorithm 1's output)."""
+    structure of Algorithm 1's output).
+
+    Strided order is equivalent to: every element's occurrence index
+    (how many times its key appeared before) equals its round index
+    (which strictly-increasing run it sits in). If that holds, a
+    round-r key occurred once in each of rounds 0..r-1, giving both
+    the subset chain and the non-increasing round lengths; conversely
+    the subset chain puts each round-r key exactly once in every
+    earlier round. Both sides of the equality vectorise.
+    """
     keys = np.asarray(keys)
     if keys.size <= 1:
         return True
     runs = monotone_run_lengths(keys)
-    # Rounds must be non-increasing in length: round r+1 contains only
-    # keys with multiplicity > r+1, a subset of round r's keys.
-    if np.any(np.diff(runs) > 0):
-        return False
-    # Each round must contain distinct keys (strict monotonicity gives
-    # this within a run by construction).
-    start = 0
-    seen_rounds: list[np.ndarray] = []
-    for length in runs:
-        rnd = keys[start:start + length]
-        seen_rounds.append(rnd)
-        start += length
-    # Later rounds' key sets must be subsets of earlier rounds'.
-    for earlier, later in zip(seen_rounds, seen_rounds[1:]):
-        if not np.isin(later, earlier).all():
-            return False
-    return True
+    round_id = np.repeat(np.arange(runs.size, dtype=np.int64), runs)
+    return bool(np.array_equal(_occurrence_index(keys), round_id))
 
 
 def is_tiled_strided_order(keys: np.ndarray, tile_size: int) -> bool:
@@ -266,18 +275,32 @@ def is_tiled_strided_order(keys: np.ndarray, tile_size: int) -> bool:
     Sorted tiled-strided output is chunk-major: all particles of chunk
     0's cells first, each chunk's particles forming repeated
     strictly-increasing tiles.
+
+    Vectorised like :func:`is_strided_order`: a key's chunk is a pure
+    function of its value, so with chunks in non-decreasing blocks a
+    key's global occurrence index is also its occurrence within its
+    chunk, and it must equal the element's tile (run) index counted
+    from the start of its chunk.
     """
     check_positive("tile_size", tile_size)
     keys = np.asarray(keys)
     if keys.size == 0:
         return True
     chunks = (keys - keys.min()) // tile_size
+    chunk_step = np.diff(chunks)
     # Chunks must appear in non-decreasing blocks.
-    if np.any(np.diff(chunks) < 0):
+    if np.any(chunk_step < 0):
         return False
-    # Each chunk's subsequence must be strided-ordered.
-    boundaries = np.nonzero(np.diff(chunks))[0] + 1
-    for seg in np.split(keys, boundaries):
-        if not is_strided_order(seg):
-            return False
-    return True
+    if keys.size == 1:
+        return True
+    # Runs break on non-increase or on a chunk boundary.
+    breaks = (np.diff(keys) <= 0) | (chunk_step != 0)
+    run_id = np.concatenate(([0], np.cumsum(breaks)))
+    new_chunk = np.empty(keys.size, dtype=bool)
+    new_chunk[0] = True
+    new_chunk[1:] = chunk_step != 0
+    # run_id is non-decreasing, so a running maximum over the values
+    # pinned at chunk starts broadcasts each chunk's first run id.
+    chunk_first_run = np.maximum.accumulate(np.where(new_chunk, run_id, 0))
+    local_round = run_id - chunk_first_run
+    return bool(np.array_equal(_occurrence_index(keys), local_round))

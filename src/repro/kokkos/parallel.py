@@ -99,5 +99,8 @@ def parallel_scan(policy, values: np.ndarray,
             np.cumsum(values[:-1], out=scan[1:])
             total = scan[-1] + values[-1]
         else:
-            total = values.dtype.type(0) if hasattr(values.dtype, "type") else 0
+            # Match the non-empty branch's return type: a numpy scalar
+            # of the values dtype, so downstream arithmetic keeps the
+            # same dtype regardless of the policy's range being empty.
+            total = values.dtype.type(0)
         return scan, total

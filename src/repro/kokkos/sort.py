@@ -14,16 +14,74 @@ import numpy as np
 
 from repro.kokkos.view import View
 
-__all__ = ["argsort_stable", "sort_by_key", "BinSort"]
+__all__ = ["argsort_stable", "counting_sort_permutation", "sort_by_key",
+           "BinSort"]
+
+#: Below this size the comparison sort's constant factors win; above
+#: it the O(N) digit passes dominate.
+_COUNTING_MIN_SIZE = 1024
+#: Radix digit width. numpy's ``kind="stable"`` sort on (u)int16 and
+#: narrower *is* a counting/radix sort, so one stable argsort per
+#: 16-bit digit is an O(N) counting pass with C-speed scatter.
+_DIGIT_BITS = 16
+_DIGIT_MASK = (1 << _DIGIT_BITS) - 1
 
 
 def _as_ndarray(x) -> np.ndarray:
     return x.data if isinstance(x, View) else np.asarray(x)
 
 
+def counting_sort_permutation(keys) -> np.ndarray | None:
+    """Stable O(N) sort permutation for bounded integer keys.
+
+    VPIC's keys are cell indices (and the strided/tiled rewrites keep
+    them bounded integers), so an O(N log N) comparison sort is the
+    wrong algorithm — the paper's own sorts are counting/bin sorts.
+    This runs one stable counting pass per 16-bit digit of the key
+    *range* (classic LSD radix, each digit pass a counting sort),
+    which numpy executes as its radix sort for narrow integers.
+
+    Returns ``None`` when the keys don't qualify (non-integer dtype,
+    too small for the O(N) path to pay off, or a range too wide to
+    rebase safely) — callers fall back to ``np.argsort(stable)``.
+    """
+    karr = _as_ndarray(keys)
+    if (karr.ndim != 1 or karr.size < _COUNTING_MIN_SIZE
+            or not np.issubdtype(karr.dtype, np.integer)):
+        return None
+    lo = int(karr.min())
+    span = int(karr.max()) - lo
+    if span >= 2 ** 63:          # rebasing (keys - lo) would overflow
+        return None
+    if span == 0:
+        return np.arange(karr.size, dtype=np.intp)
+    if np.issubdtype(karr.dtype, np.unsignedinteger):
+        rebased = (karr - karr.dtype.type(lo)).astype(np.uint64)
+    else:
+        rebased = (karr.astype(np.int64, copy=False) - lo).astype(np.uint64)
+    digit = (rebased & _DIGIT_MASK).astype(np.uint16)
+    perm = np.argsort(digit, kind="stable")
+    shift = _DIGIT_BITS
+    while span >> shift:
+        digit = ((rebased[perm] >> np.uint64(shift))
+                 & _DIGIT_MASK).astype(np.uint16)
+        perm = perm[np.argsort(digit, kind="stable")]
+        shift += _DIGIT_BITS
+    return perm
+
+
 def argsort_stable(keys) -> np.ndarray:
-    """Stable permutation that sorts *keys* ascending."""
-    return np.argsort(_as_ndarray(keys), kind="stable")
+    """Stable permutation that sorts *keys* ascending.
+
+    Uses the O(N) counting-sort path for bounded integer keys and
+    falls back to numpy's stable comparison sort otherwise. The two
+    paths produce identical permutations (both are stable sorts of
+    the same keys, and stable sort permutations are unique).
+    """
+    perm = counting_sort_permutation(keys)
+    if perm is None:
+        perm = np.argsort(_as_ndarray(keys), kind="stable")
+    return perm
 
 
 def sort_by_key(keys, *values, in_place: bool = True):
@@ -37,7 +95,7 @@ def sort_by_key(keys, *values, in_place: bool = True):
     karr = _as_ndarray(keys)
     if karr.ndim != 1:
         raise ValueError(f"keys must be 1-D, got shape {karr.shape}")
-    perm = np.argsort(karr, kind="stable")
+    perm = argsort_stable(karr)
     varrs = [_as_ndarray(v) for v in values]
     for v in varrs:
         if v.shape[0] != karr.shape[0]:
@@ -83,8 +141,8 @@ class BinSort:
         self.bin_counts = np.bincount(karr, minlength=self.nbins)
         self.bin_offsets = np.concatenate(
             ([0], np.cumsum(self.bin_counts)))
-        # Stable counting sort via argsort on the (small-range) keys.
-        return np.argsort(karr, kind="stable")
+        # Stable counting sort on the (small-range) keys.
+        return argsort_stable(karr)
 
     def sort(self, keys, *values) -> np.ndarray:
         """Permute *keys* and *values* into bin order, in place."""

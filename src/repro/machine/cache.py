@@ -27,7 +27,9 @@ import numpy as np
 
 from repro._util import check_positive
 
-__all__ = ["CacheConfig", "CacheStats", "CacheSim", "stack_distance_hit_rate"]
+__all__ = ["CacheConfig", "CacheStats", "CacheSim",
+           "stack_distance_hit_rate", "stack_distance_profile",
+           "profile_hit_rate"]
 
 
 @dataclass(frozen=True)
@@ -147,9 +149,83 @@ class CacheSim:
     def _simulate(self, lines: np.ndarray, sets: np.ndarray) -> int:
         """LRU simulation of the sampled accesses; returns raw hit count.
 
+        Vectorised, exact. LRU is a stack algorithm: an access hits
+        iff fewer than ``assoc`` *distinct* lines of the same set were
+        touched since the previous access to its line — a property of
+        reuse distances, independent of simulation state. Two tiers:
+
+        1. :func:`reuse_previous_positions` gives every access its
+           previous same-line position; accesses whose same-set *time*
+           gap is already below ``assoc`` are guaranteed hits (the
+           distinct count is bounded by the gap). When every reuse is
+           resolved this way — the common case for the sorted/tiled
+           traces this package studies — no state is ever simulated.
+        2. Otherwise the per-access loop is replaced by a time-stepped
+           simulation parallel *across sets*: all sampled sets advance
+           one access per step against an ``(n_sets, assoc)`` tag
+           matrix, so the Python-level loop shrinks from one iteration
+           per access to one per time step of the busiest set.
+        """
+        n = lines.size
+        if n == 0:
+            return 0
+        assoc = self.config.associativity
+        prev = reuse_previous_positions(lines)
+        # Rank of each access within its set's subsequence.
+        order = np.argsort(sets, kind="stable")
+        local = np.empty(n, dtype=np.int64)
+        grouped_sets = sets[order]
+        run_start = np.zeros(n, dtype=np.int64)
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = grouped_sets[1:] != grouped_sets[:-1]
+        starts = np.nonzero(new_group)[0]
+        run_start[starts] = starts
+        run_start = np.maximum.accumulate(run_start)
+        local[order] = np.arange(n, dtype=np.int64) - run_start
+        reuse = prev >= 0
+        gap = np.where(reuse, local - local[prev], assoc)
+        if np.all(gap[reuse] <= assoc):
+            # gap - 1 same-set accesses intervene => at most gap - 1
+            # distinct other lines: every reuse within assoc hits.
+            return int(np.count_nonzero(gap[reuse] <= assoc))
+        return self._simulate_stepped(lines, order, local, new_group)
+
+    def _simulate_stepped(self, lines: np.ndarray, order: np.ndarray,
+                          local: np.ndarray, new_group: np.ndarray) -> int:
+        """Exact LRU advanced one access per set per step."""
+        assoc = self.config.associativity
+        n_groups = int(np.count_nonzero(new_group))
+        group_of = np.cumsum(new_group) - 1           # in `order` order
+        sentinel = lines.min() - 1
+        depth = int(local.max()) + 1
+        grid = np.full((n_groups, depth), sentinel, dtype=np.int64)
+        grid[group_of, local[order]] = lines[order]
+        tags = np.full((n_groups, assoc), sentinel, dtype=np.int64)
+        cols = np.arange(assoc)
+        hits = 0
+        for t in range(depth):
+            cur = grid[:, t]
+            active = cur != sentinel
+            match = tags == cur[:, None]
+            hit = match.any(axis=1) & active
+            hits += int(np.count_nonzero(hit))
+            # Rotate [0..pos] on a hit; shift-in/evict on a miss.
+            pos = np.where(hit, match.argmax(axis=1), assoc - 1)
+            shifted = np.empty_like(tags)
+            shifted[:, 0] = cur
+            shifted[:, 1:] = tags[:, :-1]
+            move = active[:, None] & (cols[None, :] <= pos[:, None])
+            tags = np.where(move, shifted, tags)
+        return hits
+
+    def _simulate_reference(self, lines: np.ndarray,
+                            sets: np.ndarray) -> int:
+        """Per-access loop LRU — the semantics `_simulate` must match
+        exactly (kept as the property-test oracle).
+
         Each simulated set keeps an ``assoc``-deep list ordered from
-        MRU to LRU. The loop is per access but only over the sampled
-        slice of the trace.
+        MRU to LRU.
         """
         assoc = self.config.associativity
         ways: dict[int, list[int]] = {}
@@ -208,33 +284,66 @@ def stack_distance_hit_rate(lines: np.ndarray, cache_lines: int,
     representative). Returns estimated hits / total accesses.
     """
     check_positive("cache_lines", cache_lines)
+    return profile_hit_rate(
+        stack_distance_profile(lines, max_trace=max_trace,
+                               max_queries=max_queries, seed=seed),
+        cache_lines)
+
+
+def stack_distance_profile(lines: np.ndarray, max_trace: int = 400_000,
+                           max_queries: int = 512,
+                           seed: int = 0) -> tuple:
+    """Capacity-independent half of :func:`stack_distance_hit_rate`.
+
+    Computes, for a random sample of reuse pairs, the *time* distance
+    and the exact *distinct-line* count of each reuse window — the two
+    quantities the hit decision compares against the cache size — plus
+    the reuse fraction of the trace. The expensive work (previous-
+    position scan, per-window distinct counts) all lives here, so one
+    profile prices the same transaction trace against any number of
+    cache capacities via :func:`profile_hit_rate`.
+
+    Returns ``(time_dists, distincts, reuse_fraction)``.
+    """
     lines = np.asarray(lines, dtype=np.int64).ravel()
+    empty = np.zeros(0, dtype=np.int64)
     if lines.size == 0:
-        return 0.0
+        return empty, empty, 0.0
     if lines.size > max_trace:
         lines = lines[:max_trace]
     n = lines.size
     prev = reuse_previous_positions(lines)
     reuse_idx = np.nonzero(prev >= 0)[0]
     if reuse_idx.size == 0:
-        return 0.0
+        return empty, empty, 0.0
     if reuse_idx.size > max_queries:
         rng = np.random.default_rng(seed)
         sample = rng.choice(reuse_idx, size=max_queries, replace=False)
     else:
         sample = reuse_idx
-    hits = 0
-    for pos in sample:
+    time_dists = np.empty(sample.size, dtype=np.int64)
+    distincts = np.empty(sample.size, dtype=np.int64)
+    for i, pos in enumerate(sample.tolist()):
         p = prev[pos]
-        # Time distance is a lower bound on capacity needs: windows
-        # shorter than the cache trivially hit; windows that couldn't
-        # possibly contain cache_lines distinct lines also hit.
-        if pos - p <= cache_lines:
-            hits += 1
-            continue
+        time_dists[i] = pos - p
+        # Distinct lines inside the window: accesses whose previous
+        # touch precedes the window are first occurrences within it.
         window_prev = prev[p + 1:pos + 1]
-        distinct = int(np.count_nonzero(window_prev <= p))
-        if distinct < cache_lines:
-            hits += 1
-    hit_fraction_of_reuses = hits / sample.size
-    return hit_fraction_of_reuses * (reuse_idx.size / n)
+        distincts[i] = np.count_nonzero(window_prev <= p)
+    return time_dists, distincts, reuse_idx.size / n
+
+
+def profile_hit_rate(profile: tuple, cache_lines: int) -> float:
+    """Hit rate of a :func:`stack_distance_profile` at one capacity.
+
+    An access hits iff its reuse window is shorter than the cache
+    (time distance is a lower bound on capacity needs) or holds fewer
+    distinct lines than the cache.
+    """
+    check_positive("cache_lines", cache_lines)
+    time_dists, distincts, reuse_fraction = profile
+    if time_dists.size == 0:
+        return 0.0
+    hits = int(np.count_nonzero((time_dists <= cache_lines)
+                                | (distincts < cache_lines)))
+    return (hits / time_dists.size) * reuse_fraction

@@ -31,6 +31,8 @@ name                        kind       meaning
 ``halo/exchanges``          counter    ghost-cell exchange phases
 ``halo/reductions``         counter    ghost-sum reduction phases
 ``report/section_seconds``  histogram  bench-report section wall time
+``perfmodel/memo_hits``     counter    prediction-memo cache hits
+``perfmodel/memo_misses``   counter    prediction-memo cache misses
 ==========================  =========  =================================
 """
 

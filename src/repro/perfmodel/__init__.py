@@ -35,6 +35,12 @@ from repro.perfmodel.vector_efficiency import (
 )
 from repro.perfmodel.cpu_model import CpuKernelModel
 from repro.perfmodel.gpu_model import GpuKernelModel
+from repro.perfmodel.memo import (
+    PredictionMemo,
+    default_memo,
+    memo_enabled,
+    set_memo_enabled,
+)
 from repro.perfmodel.predict import Prediction, predict_time, model_for
 
 __all__ = [
@@ -44,4 +50,5 @@ __all__ = [
     "compute_time_cpu", "compute_time_gpu", "effective_lane_speedup",
     "CpuKernelModel", "GpuKernelModel",
     "Prediction", "predict_time", "model_for",
+    "PredictionMemo", "default_memo", "memo_enabled", "set_memo_enabled",
 ]

@@ -21,11 +21,13 @@ remainder of the runner-up term.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.machine.cache import stack_distance_hit_rate
+from repro.machine.cache import profile_hit_rate, stack_distance_profile
 from repro.machine.memory import MemoryModel
 from repro.machine.specs import PlatformSpec
 from repro.perfmodel.kernel_cost import KernelCost
@@ -60,6 +62,12 @@ def warp_transaction_lines(indices: np.ndarray, elem_bytes: int,
     the traffic count and the trace whose reuse distances determine
     L2 behaviour (later passes of a warp revisiting the same lines
     appear as short-distance reuses and hit).
+
+    Every pass offsets all lanes by the same constant, so sorting the
+    per-warp base addresses *once* leaves every pass's line row already
+    sorted (``x -> (x + c) // L`` is monotone) — one lane sort per
+    warp instead of one per (warp, pass), followed by a segmented
+    adjacent-unique count over all rows at once.
     """
     indices = np.asarray(indices, dtype=np.int64).ravel()
     n = indices.size
@@ -73,14 +81,50 @@ def warp_transaction_lines(indices: np.ndarray, elem_bytes: int,
     if pad:
         base = np.concatenate([base, np.full(pad, base[-1])])
     n_warps = base.size // warp_size
-    # addr[warp, pass, lane]
-    addr = (base.reshape(n_warps, 1, warp_size)
-            + (np.arange(passes, dtype=np.int64) * pass_stride)[None, :, None])
-    lines = addr // line_bytes
-    rows = np.sort(lines.reshape(n_warps * passes, warp_size), axis=1)
+    base_sorted = np.sort(base.reshape(n_warps, warp_size), axis=1)
+    offs = np.arange(passes, dtype=np.int64) * pass_stride
+    # lines[warp, pass, lane], each (warp, pass) row ascending.
+    lines = (base_sorted[:, None, :] + offs[None, :, None]) // line_bytes
+    rows = lines.reshape(n_warps * passes, warp_size)
     keep = np.ones(rows.shape, dtype=bool)
     keep[:, 1:] = rows[:, 1:] != rows[:, :-1]
     return rows[keep]
+
+
+#: Transaction-trace summary cache. The coalescing geometry (warp
+#: size, line size) is shared by whole platform families, so pricing
+#: one ordered index array on several GPUs rebuilds the *same*
+#: transaction trace; what the model actually consumes from it is
+#: capacity-independent — the transaction count and the reuse profile
+#: — and both fit in a few KiB. Keyed by content digest, so equal
+#: index patterns share an entry regardless of which array carries
+#: them.
+_TX_SUMMARY_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+_TX_SUMMARY_CAPACITY = 128
+_tx_summary_lock = threading.Lock()
+
+
+def _tx_summary(indices: np.ndarray, elem_bytes: int, warp_size: int,
+                line_bytes: int, passes: int,
+                pass_stride: int) -> tuple[int, tuple]:
+    """(transaction count, stack-distance profile) for one stream."""
+    from repro.perfmodel.memo import array_digest
+    key = (array_digest(indices), elem_bytes, warp_size, line_bytes,
+           passes, pass_stride)
+    with _tx_summary_lock:
+        cached = _TX_SUMMARY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    tx_lines = warp_transaction_lines(indices, elem_bytes, warp_size,
+                                      line_bytes, passes=passes,
+                                      pass_stride=pass_stride)
+    summary = (tx_lines.size, stack_distance_profile(tx_lines[:_MAX_TRACE]))
+    with _tx_summary_lock:
+        if key not in _TX_SUMMARY_CACHE and \
+                len(_TX_SUMMARY_CACHE) >= _TX_SUMMARY_CAPACITY:
+            _TX_SUMMARY_CACHE.popitem(last=False)
+        _TX_SUMMARY_CACHE[key] = summary
+    return summary
 
 
 @dataclass
@@ -109,16 +153,12 @@ class GpuKernelModel:
                       ) -> tuple[float, float, int]:
         """(seconds, hit_rate, transactions) for one indexed stream."""
         p = self.platform
-        tx_lines = warp_transaction_lines(indices, elem_bytes,
-                                          p.warp_size, p.cache_line_bytes,
-                                          passes=passes,
-                                          pass_stride=pass_stride)
-        n_tx = tx_lines.size
+        n_tx, profile = _tx_summary(indices, elem_bytes, p.warp_size,
+                                    p.cache_line_bytes, passes, pass_stride)
         if n_tx == 0:
             return 0.0, 1.0, 0
-        sample = tx_lines[:_MAX_TRACE]
-        hit = stack_distance_hit_rate(sample,
-                                      self._effective_llc_lines(cache_scale))
+        hit = profile_hit_rate(profile,
+                               self._effective_llc_lines(cache_scale))
         miss_tx = (1.0 - hit) * n_tx
         hit_tx = hit * n_tx
         line = p.cache_line_bytes

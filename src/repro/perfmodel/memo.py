@@ -1,0 +1,201 @@
+"""Content-addressed prediction memoization.
+
+The evaluation harness calls :func:`~repro.perfmodel.predict.
+predict_time` ~150 times per full report, and many of those calls are
+*identical work*: Figure 8 re-prices Figure 7's kernels, the tiled
+orderings repeat across platforms sharing a tile size, and re-running
+a report re-simulates everything. Since a prediction is a pure
+function of (platform, kernel cost, trace content, strategy), it can
+be cached by *content*: the key is a digest of the platform name, the
+kernel-cost descriptor, and a fingerprint of the trace — including the
+raw bytes of its index arrays, so two traces with equal patterns hit
+the same entry no matter which array objects carry them.
+
+Only the numeric result (``total`` seconds plus the component
+breakdown) is stored — never the arrays — so the cache stays a few
+KiB per entry and a hit rebuilds a fresh
+:class:`~repro.perfmodel.predict.Prediction` around the caller's own
+trace/cost objects with bit-identical numbers.
+
+Hit/miss counts are exported through the observability metrics
+registry as ``perfmodel/memo_hits`` and ``perfmodel/memo_misses``
+(visible in ``repro report --metrics``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.observability.metrics import default_registry
+from repro.perfmodel.kernel_cost import KernelCost
+from repro.perfmodel.trace import AccessTrace
+
+__all__ = [
+    "PredictionMemo",
+    "array_digest",
+    "default_memo",
+    "memo_enabled",
+    "set_memo_enabled",
+    "trace_fingerprint",
+    "cost_fingerprint",
+]
+
+#: Default entry cap; each entry is one components dict (~15 floats).
+_DEFAULT_CAPACITY = 4096
+
+_enabled = True
+
+
+def set_memo_enabled(enabled: bool) -> bool:
+    """Toggle the global memo (returns the previous state)."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+def memo_enabled() -> bool:
+    return _enabled
+
+
+#: Identity-keyed digest cache. The bench layer shares ordered key
+#: arrays across many traces and platforms (see
+#: :func:`repro.bench.gather_scatter.shared_ordering`), so the same
+#: multi-MB array would otherwise be re-hashed per prediction. Entries
+#: hold a strong reference to the array, which keeps its ``id`` (and
+#: data pointer) from being recycled while the entry lives. Like the
+#: fingerprint cache, this assumes arrays handed to the model stack
+#: are not mutated afterwards.
+_DIGEST_CACHE: OrderedDict[tuple, tuple] = OrderedDict()
+_DIGEST_CAPACITY = 16
+_digest_lock = threading.Lock()
+
+
+def array_digest(arr: np.ndarray) -> str:
+    """Content digest of an array, cached by array identity."""
+    a = np.ascontiguousarray(arr)
+    key = (id(a), a.__array_interface__["data"][0], a.shape, str(a.dtype))
+    with _digest_lock:
+        entry = _DIGEST_CACHE.get(key)
+    if entry is not None:
+        return entry[1]
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.data)
+    digest = h.hexdigest()
+    with _digest_lock:
+        if key not in _DIGEST_CACHE and \
+                len(_DIGEST_CACHE) >= _DIGEST_CAPACITY:
+            _DIGEST_CACHE.popitem(last=False)
+        _DIGEST_CACHE[key] = (a, digest)
+    return digest
+
+
+def _hash_array(h, arr: np.ndarray | None) -> None:
+    if arr is None:
+        h.update(b"\x00none")
+        return
+    h.update(array_digest(arr).encode())
+
+
+def trace_fingerprint(trace: AccessTrace) -> str:
+    """Digest of everything in a trace that can influence a model.
+
+    Cached on the trace instance after the first computation — traces
+    are treated as immutable once built (nothing in the model stack
+    writes to them), so hashing the index arrays once per trace is
+    enough.
+    """
+    cached = getattr(trace, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((trace.n_ops, trace.streamed_bytes,
+                   trace.gather_elem_bytes, trace.gather_table_entries,
+                   trace.scatter_elem_bytes, trace.scatter_table_entries,
+                   trace.scatter_is_atomic, trace.scatter_ops_per_element,
+                   trace.cache_scale)).encode())
+    _hash_array(h, trace.gather_indices)
+    _hash_array(h, trace.scatter_indices)
+    digest = h.hexdigest()
+    trace._fingerprint = digest
+    return digest
+
+
+def cost_fingerprint(cost: KernelCost) -> str:
+    """Digest of a kernel-cost descriptor (frozen dataclass repr)."""
+    h = hashlib.blake2b(repr(cost).encode(), digest_size=16)
+    return h.hexdigest()
+
+
+class PredictionMemo:
+    """Bounded, thread-safe (platform, cost, trace) -> components cache.
+
+    FIFO eviction at *capacity*; identity of the stored value is a
+    plain ``dict`` of floats (the model's component breakdown), copied
+    on the way out so callers can't corrupt the cache.
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY,
+                 registry=None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        reg = registry if registry is not None else default_registry()
+        self._hits = reg.counter("perfmodel/memo_hits")
+        self._misses = reg.counter("perfmodel/memo_misses")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, platform_name: str, trace: AccessTrace,
+            cost: KernelCost, strategy_name: str | None) -> tuple:
+        return (platform_name, strategy_name, cost_fingerprint(cost),
+                trace_fingerprint(trace))
+
+    def get(self, key: tuple) -> dict | None:
+        with self._lock:
+            components = self._entries.get(key)
+            if components is None:
+                self._misses.inc()
+                return None
+            self._hits.inc()
+            return dict(components)
+
+    def put(self, key: tuple, components: dict) -> None:
+        with self._lock:
+            if key not in self._entries and \
+                    len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[key] = dict(components)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Plain-data counters snapshot: hits, misses, entries, rate."""
+        hits = self._hits.value
+        misses = self._misses.value
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "entries": len(self._entries),
+            "hit_rate": hits / total if total else 0.0,
+        }
+
+
+_default_memo = PredictionMemo()
+
+
+def default_memo() -> PredictionMemo:
+    """The process-wide memo :func:`predict_time` consults."""
+    return _default_memo

@@ -89,19 +89,38 @@ class Prediction:
 
 def predict_time(platform: PlatformSpec, trace: AccessTrace,
                  cost: KernelCost,
-                 strategy: Strategy = Strategy.GUIDED) -> Prediction:
+                 strategy: Strategy = Strategy.GUIDED,
+                 memoize: bool = True) -> Prediction:
     """Predict one kernel launch on *platform*.
 
     *strategy* applies to CPUs only; GPUs always execute through the
     SIMT model (§3.1).
+
+    Predictions are pure functions of their inputs, so results are
+    memoized by content (see :mod:`repro.perfmodel.memo`): repeated
+    calls with an identical (platform, cost, trace-content, strategy)
+    combination reuse the first call's component breakdown instead of
+    re-simulating the trace. Pass ``memoize=False`` (or disable the
+    global memo) to force a fresh model evaluation.
     """
-    model = model_for(platform)
-    if platform.is_gpu:
-        components = model.predict(trace, cost)
-        strat = None
-    else:
-        components = model.predict(trace, cost, strategy)
-        strat = strategy
+    from repro.perfmodel import memo as _memo
+    strat = None if platform.is_gpu else strategy
+    key = None
+    components = None
+    use_memo = memoize and _memo.memo_enabled()
+    if use_memo:
+        cache = _memo.default_memo()
+        key = cache.key(platform.name, trace, cost,
+                        strat.value if strat else None)
+        components = cache.get(key)
+    if components is None:
+        model = model_for(platform)
+        if platform.is_gpu:
+            components = model.predict(trace, cost)
+        else:
+            components = model.predict(trace, cost, strategy)
+        if use_memo:
+            _memo.default_memo().put(key, components)
     return Prediction(
         platform=platform,
         trace=trace,

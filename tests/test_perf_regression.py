@@ -1,0 +1,43 @@
+"""Wall-clock regression smoke test for the evaluation report.
+
+Compares one ``full_report()`` run against the baseline recorded in
+BENCH_2.json (written by ``scripts/bench_report.py``) and fails if it
+takes more than twice the recorded time — a tripwire for accidentally
+reverting the measurement-stack fast path, with enough slack that
+machine-to-machine variance doesn't flake.
+
+Opt in with ``pytest -m perf`` (deselected by default-marker runs
+only if you filter; the test also self-skips when no baseline has
+been recorded on this checkout).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+
+
+@pytest.mark.perf
+def test_full_report_not_slower_than_twice_baseline():
+    if not BASELINE.exists():
+        pytest.skip("no BENCH_2.json baseline recorded "
+                    "(run scripts/bench_report.py)")
+    record = json.loads(BASELINE.read_text())
+    budget = 2.0 * float(record["full_report_seconds"])
+
+    from repro.bench.runner import full_report
+    t0 = time.perf_counter()
+    report = full_report()
+    elapsed = time.perf_counter() - t0
+
+    assert report  # the report actually produced output
+    assert elapsed <= budget, (
+        f"full_report took {elapsed:.2f}s, over 2x the recorded "
+        f"baseline of {record['full_report_seconds']}s — the fast "
+        f"path has regressed (re-baseline with scripts/bench_report.py "
+        f"only if the slowdown is intended)")
