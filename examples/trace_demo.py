@@ -39,12 +39,14 @@ def main() -> None:
     tracer.save(path)
 
     # Re-load the export to prove it is valid Chrome-trace JSON with
-    # one span stream per kernel label.
+    # one span stream per kernel label (plus ph:"M" metadata events
+    # naming the lanes for Perfetto).
     with open(path) as f:
         doc = json.load(f)
-    spans = doc["traceEvents"]
+    spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+    meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
     assert spans, "trace export contained no spans"
-    assert all(ev["ph"] == "X" for ev in spans)
+    assert len(spans) + len(meta) == len(doc["traceEvents"])
     names = sorted({ev["name"] for ev in spans})
     assert any("push" in n for n in names), names
 

@@ -1,16 +1,19 @@
 #!/usr/bin/env python
-"""Time the evaluation report and record the result in BENCH_2.json.
+"""Time the evaluation report and record baselines in BENCH_*.json.
 
 Runs ``full_report()`` end to end (cold caches), then once more warm,
 times each figure section individually, and snapshots the prediction
-memo's hit statistics. The JSON this writes is the baseline the
-``perf``-marked regression test (tests/test_perf_regression.py)
-compares against:
+memo's hit statistics (-> BENCH_2.json). Then times a small
+distributed deck plain vs under the full ``repro profile`` tool stack
+(-> BENCH_3.json) — the profiler-overhead baseline and the per-kernel
+seconds the dashboard's regression table compares against. Both files
+are what the ``perf``-marked regression tests
+(tests/test_perf_regression.py) check:
 
     PYTHONPATH=src python scripts/bench_report.py
     PYTHONPATH=src python -m pytest -m perf
 
-Use ``--check`` to print timings without rewriting the baseline.
+Use ``--check`` to print timings without rewriting the baselines.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 OUT_PATH = REPO / "BENCH_2.json"
+PROFILE_OUT_PATH = REPO / "BENCH_3.json"
 
 
 def _git_head() -> str:
@@ -63,11 +67,59 @@ def time_sections() -> dict[str, float]:
     return sections
 
 
+def profile_overhead_record(repeats: int = 3) -> dict:
+    """Best-of-*repeats* profiler on/off timing for BENCH_3.json."""
+    from repro.observability.overhead import measure_profile_overhead
+
+    best = None
+    plain = profiled = float("inf")
+    for _ in range(repeats):
+        rep = measure_profile_overhead()
+        plain = min(plain, rep.plain_seconds)
+        profiled = min(profiled, rep.profiled_seconds)
+        best = rep
+    overhead = max(0.0, profiled / plain - 1.0) if plain > 0 else 0.0
+    return {
+        "benchmark": "profile_overhead",
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "git_head": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "deck": best.deck_name,
+        "n_ranks": best.n_ranks,
+        "steps": best.steps,
+        "repeats": repeats,
+        "plain_seconds": round(plain, 4),
+        "profiled_seconds": round(profiled, 4),
+        "overhead_fraction": round(overhead, 4),
+        "kernel_seconds": {name: round(secs, 5)
+                           for name, secs in
+                           sorted(best.kernel_seconds.items())},
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", action="store_true",
-                        help="print timings without rewriting BENCH_2.json")
+                        help="print timings without rewriting baselines")
+    parser.add_argument("--profile-only", action="store_true",
+                        help="only measure profiler overhead and write "
+                             "BENCH_3.json, leaving BENCH_2.json alone")
     args = parser.parse_args(argv)
+
+    if args.profile_only:
+        profile_record = profile_overhead_record()
+        print(f"profile overhead ({profile_record['deck']}, "
+              f"{profile_record['n_ranks']} ranks, "
+              f"{profile_record['steps']} steps): "
+              f"plain {profile_record['plain_seconds'] * 1e3:.1f} ms, "
+              f"profiled {profile_record['profiled_seconds'] * 1e3:.1f} ms "
+              f"(+{profile_record['overhead_fraction']:.1%})")
+        if not args.check:
+            PROFILE_OUT_PATH.write_text(
+                json.dumps(profile_record, indent=2) + "\n")
+            print(f"baseline -> {PROFILE_OUT_PATH}")
+        return 0
 
     from repro.bench.runner import full_report
     from repro.perfmodel.memo import default_memo
@@ -107,10 +159,20 @@ def main(argv=None) -> int:
     print(f"memo: {memo_cold['hits']} hits / {memo_cold['misses']} misses "
           f"({memo_cold['hit_rate']:.0%})")
 
+    profile_record = profile_overhead_record()
+    print(f"profile overhead ({profile_record['deck']}, "
+          f"{profile_record['n_ranks']} ranks, "
+          f"{profile_record['steps']} steps): "
+          f"plain {profile_record['plain_seconds'] * 1e3:.1f} ms, "
+          f"profiled {profile_record['profiled_seconds'] * 1e3:.1f} ms "
+          f"(+{profile_record['overhead_fraction']:.1%})")
+
     if args.check:
         return 0
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print(f"baseline -> {OUT_PATH}")
+    PROFILE_OUT_PATH.write_text(json.dumps(profile_record, indent=2) + "\n")
+    print(f"baseline -> {PROFILE_OUT_PATH}")
     return 0
 
 

@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.machine.roofline import RooflineModel, RooflinePoint
 
-__all__ = ["bar_chart", "xy_plot", "roofline_plot"]
+__all__ = ["bar_chart", "xy_plot", "roofline_plot",
+           "roofline_profile_plot"]
 
 
 def bar_chart(values: Mapping[str, float], title: str = "",
@@ -78,6 +79,13 @@ def xy_plot(x: Sequence[float], y: Sequence[float], title: str = "",
                  " " * max(1, width - len(xmin_lab) - len(xmax_lab)) +
                  f"{xmax_lab}")
     return "\n".join(lines)
+
+
+def roofline_profile_plot(profiler, title: str = "") -> str:
+    """Roofline chart plus the per-kernel counter table for one
+    :class:`~repro.observability.roofline_profiler.RooflineProfiler`
+    (the terminal view of ``repro profile``)."""
+    return profiler.ascii(title) + "\n\n" + profiler.table()
 
 
 def roofline_plot(model: RooflineModel, points: Sequence[RooflinePoint],

@@ -26,6 +26,7 @@ from repro.core.sorting import SortKind
 from repro.kokkos.profiling import profiling_session
 from repro.machine.roofline import RooflineModel, RooflinePoint
 from repro.machine.specs import PlatformSpec, cpu_platforms
+from repro.observability.roofline_profiler import RooflineProfiler
 from repro.perfmodel.kernel_cost import push_kernel_cost
 from repro.perfmodel.predict import Prediction, predict_time
 from repro.perfmodel.trace import AccessTrace
@@ -187,16 +188,16 @@ def fig8_roofline_points(platform: PlatformSpec,
                          keys: np.ndarray | None = None,
                          table_entries: int | None = None
                          ) -> tuple[RooflineModel, list[RooflinePoint]]:
-    """Figure 8: roofline placements of the push per sort order."""
+    """Figure 8: roofline placements of the push per sort order.
+
+    The placement logic lives in the profiler layer now
+    (:class:`~repro.observability.roofline_profiler.RooflineProfiler`);
+    this keeps the historical (model, points) return shape. Random
+    order is excluded as in the paper's Figure 8.
+    """
     if keys is None or table_entries is None:
         keys, table_entries = collect_push_trace()
     runtimes = fig7_sort_runtimes([platform], keys, table_entries)
-    model = RooflineModel(platform)
-    points = [
-        RooflinePoint(label=order,
-                      arithmetic_intensity=pred.arithmetic_intensity,
-                      gflops=pred.gflops)
-        for order, pred in runtimes[platform.name].items()
-        if order != "random"
-    ]
-    return model, points
+    profiler = RooflineProfiler.from_predictions(
+        platform, runtimes[platform.name], exclude=("random",))
+    return profiler.model, profiler.points()

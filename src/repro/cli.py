@@ -4,9 +4,12 @@ Production codes ship drivers; this CLI exposes the library's main
 workflows without writing Python:
 
 - ``run-deck``     run a named workload deck with diagnostics
-                   (``--trace``/``--metrics`` export observability data)
+                   (``--trace``/``--metrics``/``--profile`` export
+                   observability data)
 - ``trace``        run a deck under the Chrome tracer and print the
                    span summary plus the instrumentation overhead report
+- ``profile``      run a deck distributed under the counter-attribution
+                   profiler and write the HTML performance dashboard
 - ``tune``         show the hardware-targeted plan for a platform/problem
 - ``platforms``    list the Table-1 platform registry (+ host)
 - ``figures``      regenerate selected paper figures as text tables
@@ -52,18 +55,25 @@ def cmd_run_deck(args) -> int:
 
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
+    profile_path = getattr(args, "profile", None)
     deck = _deck_factory(args.deck, args.steps, args.seed)
     sim = deck.build()
     print(f"deck '{deck.name}': {sim.grid.n_cells} cells, "
           f"{sim.total_particles} particles, {deck.num_steps} steps")
     reset_kernel_timings()
     tracer = None
-    if trace_path or metrics_path:
+    counter_tool = None
+    if trace_path or metrics_path or profile_path:
         default_registry().reset()
         set_detail(True)
     if trace_path:
         tracer = ChromeTracer()
         register_tool(tracer)
+    if profile_path:
+        from repro.machine.specs import get_platform
+        from repro.observability.counters import CounterTool
+        counter_tool = CounterTool(get_platform("A100"))
+        register_tool(counter_tool)
     try:
         diag = EnergyDiagnostic()
         sim.run(deck.num_steps, diag,
@@ -71,6 +81,8 @@ def cmd_run_deck(args) -> int:
     finally:
         if tracer is not None:
             unregister_tool(tracer)
+        if counter_tool is not None:
+            unregister_tool(counter_tool)
         set_detail(False)
     print(energy_report(diag))
     if args.timings:
@@ -84,6 +96,62 @@ def cmd_run_deck(args) -> int:
     if metrics_path:
         default_registry().save(metrics_path)
         print(f"metrics -> {metrics_path}")
+    if profile_path:
+        from repro.bench.push_bench import push_trace_from_keys
+        from repro.observability.dashboard import (ProfileBundle,
+                                                   baseline_deltas,
+                                                   load_baseline,
+                                                   save_dashboard)
+        from repro.observability.roofline_profiler import RooflineProfiler
+        from repro.perfmodel.kernel_cost import push_kernel_cost
+        cost = push_kernel_cost()
+        for sp in sim.species:
+            if sp.n == 0:
+                continue
+            keys = np.ascontiguousarray(sp.live("voxel"), dtype=np.int64)
+            counter_tool.bind(
+                f"push/{sp.name}",
+                push_trace_from_keys(keys, sim.grid.n_voxels, atomic=True),
+                cost)
+        kernel_seconds = {name: acc.seconds
+                          for name, acc in counter_tool.measured.items()}
+        bundle = ProfileBundle(
+            deck_name=deck.name,
+            platform_name=counter_tool.platform.name,
+            n_ranks=1,
+            steps=deck.num_steps,
+            roofline=RooflineProfiler.from_counter_tool(counter_tool),
+            kernel_rows=counter_tool.rows(),
+            metrics=default_registry().snapshot(),
+            deltas=baseline_deltas(kernel_seconds, deck.num_steps,
+                                   load_baseline()),
+        )
+        save_dashboard(bundle, profile_path)
+        print(f"profile dashboard -> {profile_path}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.bench.plots import roofline_profile_plot
+    from repro.machine.specs import get_platform
+    from repro.observability.dashboard import profile_deck, save_dashboard
+
+    deck = _deck_factory(args.deck, args.steps, args.seed)
+    platform = get_platform(args.platform)
+    print(f"profiling deck '{deck.name}' on {platform.name}: "
+          f"{args.ranks} simulated ranks, {deck.num_steps} steps")
+    bundle = profile_deck(deck, platform, n_ranks=args.ranks)
+    print(roofline_profile_plot(bundle.roofline,
+                                title=f"roofline on {platform.name}"))
+    if bundle.rank_report is not None:
+        print()
+        print(bundle.rank_report.table())
+    out = args.out or f"{deck.name}-profile.html"
+    save_dashboard(bundle, out)
+    print(f"dashboard -> {out}")
+    if args.trace:
+        bundle.save_trace(args.trace)
+        print(f"merged rank trace -> {args.trace}")
     return 0
 
 
@@ -207,6 +275,7 @@ def cmd_scaling(args) -> int:
 def cmd_report(args) -> int:
     from repro.bench.runner import full_report
     from repro.observability.metrics import default_registry
+    from repro.observability.overhead import measure_overhead
     from repro.perfmodel.memo import default_memo
     metrics_path = getattr(args, "metrics", None)
     if metrics_path:
@@ -219,6 +288,7 @@ def cmd_report(args) -> int:
               f"{stats['misses']} misses "
               f"({stats['hit_rate']:.0%} hit rate, "
               f"{stats['entries']} entries)")
+        print(measure_overhead().format())
         print(f"metrics -> {metrics_path}")
     return 0
 
@@ -252,7 +322,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export a Chrome-trace JSON of the run")
     p.add_argument("--metrics", metavar="FILE", default=None,
                    help="export the metrics registry (.json or .csv)")
+    p.add_argument("--profile", metavar="FILE", default=None,
+                   help="write an HTML counter-attribution dashboard "
+                        "(modeled on A100) for the run")
     p.set_defaults(fn=cmd_run_deck)
+
+    p = sub.add_parser("profile",
+                       help="counter-attribution profile + dashboard")
+    p.add_argument("deck", choices=_DECKS)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ranks", type=int, default=4,
+                   help="simulated MPI ranks (default 4)")
+    p.add_argument("--platform", default="A100",
+                   help="Table-1 platform the counters are modeled on")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="dashboard path (default <deck>-profile.html)")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="also export the merged per-rank Chrome trace")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("trace", help="trace a deck + overhead report")
     p.add_argument("deck", choices=_DECKS)

@@ -25,7 +25,8 @@ from repro.cluster.cache_scaling import push_rate
 from repro.cluster.systems import SystemSpec
 from repro.mpi.decomposition import CartDecomposition, balanced_dims
 
-__all__ = ["ScalingPoint", "strong_scaling", "speedups"]
+__all__ = ["ScalingPoint", "strong_scaling", "speedups",
+           "imbalance_adjusted"]
 
 #: Bytes exchanged per surface cell per step: 9 field components x
 #: 4 B, exchanged for both ghost fill and current reduction.
@@ -118,6 +119,33 @@ def _internode_fraction(n_gpus: int, gpus_per_node: int,
         return 0.0
     packed_axis_local = min(1.0, gpus_per_node / (2.0 * dims[2]))
     return float(np.clip(1.0 - packed_axis_local / 3.0, 0.5, 1.0))
+
+
+def imbalance_adjusted(points: list[ScalingPoint],
+                       load_imbalance: float) -> list[ScalingPoint]:
+    """Apply a measured per-rank load imbalance to a scaling curve.
+
+    :func:`strong_scaling` assumes perfectly balanced ranks, but a
+    BSP step completes when its *slowest* rank does: with measured
+    imbalance ``(max - mean) / mean`` of per-rank push time (see
+    :class:`repro.observability.rank_profile.RankProfileReport`), the
+    critical-path push time is ``mean x (1 + imbalance)``.
+    Communication time is unchanged — the halo wait of the laggard is
+    already what the imbalance describes.
+    """
+    if load_imbalance < 0:
+        raise ValueError(
+            f"load_imbalance must be non-negative, got {load_imbalance}")
+    return [
+        ScalingPoint(
+            n_gpus=p.n_gpus,
+            grid_per_gpu=p.grid_per_gpu,
+            particles_per_gpu=p.particles_per_gpu,
+            push_seconds=p.push_seconds * (1.0 + load_imbalance),
+            comm_seconds=p.comm_seconds,
+        )
+        for p in points
+    ]
 
 
 def speedups(points: list[ScalingPoint],

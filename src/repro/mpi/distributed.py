@@ -23,6 +23,7 @@ from repro.mpi.comm import World
 from repro.mpi.decomposition import CartDecomposition
 from repro.mpi.halo import exchange_ghost_cells, reduce_ghost_sums
 from repro.mpi.particle_exchange import migrate_particles
+from repro.observability.rank_profile import rank_activity
 from repro.vpic.boris import advance_positions, boris_push
 from repro.vpic.deck import Deck
 from repro.vpic.deposit import deposit_current
@@ -145,31 +146,43 @@ class DistributedSimulation:
     # -- the distributed step ----------------------------------------------------------
 
     def step(self) -> None:
-        """One full distributed timestep (VPIC ordering)."""
+        """One full distributed timestep (VPIC ordering).
+
+        Each rank's local work runs under a
+        :func:`~repro.observability.rank_profile.rank_activity`
+        marker, so a registered profiler sees one lane per rank; with
+        no tool attached the markers are a shared no-op context.
+        """
         self._exchange_fields(_E_NAMES + _B_NAMES)
         for rs in self.ranks:
-            rs.solver.advance_b(0.5)
-            rs.fields.clear_currents()
+            with rank_activity(rs.rank, "field/advance_b"):
+                rs.solver.advance_b(0.5)
+                rs.fields.clear_currents()
         self._exchange_fields(_B_NAMES)
         for rs in self.ranks:
             for sp in rs.species:
                 if sp.n == 0:
                     continue
-                x, y, z = sp.positions()
-                ux, uy, uz = sp.momenta()
-                ex, ey, ez, bx, by, bz = gather_fields(rs.fields, x, y, z)
-                boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
-                           sp.q, sp.m, self.dt)
-                deposit_current(rs.fields, x, y, z, ux, uy, uz,
-                                sp.live("w"), sp.q)
-                advance_positions(x, y, z, ux, uy, uz, self.dt)
-        self._migrate()
+                with rank_activity(rs.rank, f"push/{sp.name}"):
+                    x, y, z = sp.positions()
+                    ux, uy, uz = sp.momenta()
+                    ex, ey, ez, bx, by, bz = gather_fields(
+                        rs.fields, x, y, z)
+                    boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
+                               sp.q, sp.m, self.dt)
+                    deposit_current(rs.fields, x, y, z, ux, uy, uz,
+                                    sp.live("w"), sp.q)
+                    advance_positions(x, y, z, ux, uy, uz, self.dt)
+        with rank_activity(None, "migrate", kind="comm"):
+            self._migrate()
         self._reduce_currents()
         for rs in self.ranks:
-            rs.solver.advance_b(0.5)
+            with rank_activity(rs.rank, "field/advance_b"):
+                rs.solver.advance_b(0.5)
         self._exchange_fields(_E_NAMES)
         for rs in self.ranks:
-            rs.solver.advance_e(1.0)
+            with rank_activity(rs.rank, "field/advance_e"):
+                rs.solver.advance_e(1.0)
         self.step_count += 1
 
     def run(self, num_steps: int) -> None:

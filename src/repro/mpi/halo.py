@@ -20,6 +20,7 @@ from repro.kokkos.profiling import record_kernel
 from repro.mpi.comm import World
 from repro.mpi.decomposition import CartDecomposition
 from repro.observability.metrics import default_registry
+from repro.observability.rank_profile import rank_activity
 
 __all__ = ["exchange_ghost_cells", "reduce_ghost_sums"]
 
@@ -74,17 +75,21 @@ def _exchange_ghost_cells(world, decomp, arrays, tag_base):
                     a[_boundary_slice(a.shape, axis, high, ghost=False)])
                 comm.isend(layer, nbrs[face], tag=tag_base + face)
         for rank in range(world.size):
-            comm = world.comm(rank)
-            nbrs = decomp.neighbors(rank)
-            a = arrays[rank]
-            for face in axis_faces:
-                axis, high = _FACE_AXES[face]
-                # My low ghost comes from my low neighbor's high
-                # boundary: the neighbor sent it on the *opposite*
-                # face index.
-                opp = face ^ 1
-                layer = comm.recv(nbrs[face], tag=tag_base + opp)
-                a[_boundary_slice(a.shape, axis, high, ghost=True)] = layer
+            # The receive phase is the rank's wait-for-neighbors time —
+            # the halo-wait lane of the per-rank profile.
+            with rank_activity(rank, "halo/wait", kind="comm"):
+                comm = world.comm(rank)
+                nbrs = decomp.neighbors(rank)
+                a = arrays[rank]
+                for face in axis_faces:
+                    axis, high = _FACE_AXES[face]
+                    # My low ghost comes from my low neighbor's high
+                    # boundary: the neighbor sent it on the *opposite*
+                    # face index.
+                    opp = face ^ 1
+                    layer = comm.recv(nbrs[face], tag=tag_base + opp)
+                    a[_boundary_slice(a.shape, axis, high,
+                                      ghost=True)] = layer
 
 
 def reduce_ghost_sums(world: World, decomp: CartDecomposition,
@@ -115,11 +120,13 @@ def _reduce_ghost_sums(world, decomp, arrays, tag_base):
                 comm.isend(ghost, nbrs[face], tag=tag_base + face)
                 a[_boundary_slice(a.shape, axis, high, ghost=True)] = 0
         for rank in range(world.size):
-            comm = world.comm(rank)
-            nbrs = decomp.neighbors(rank)
-            a = arrays[rank]
-            for face in axis_faces:
-                axis, high = _FACE_AXES[face]
-                opp = face ^ 1
-                contrib = comm.recv(nbrs[face], tag=tag_base + opp)
-                a[_boundary_slice(a.shape, axis, high, ghost=False)] += contrib
+            with rank_activity(rank, "halo/reduce_wait", kind="comm"):
+                comm = world.comm(rank)
+                nbrs = decomp.neighbors(rank)
+                a = arrays[rank]
+                for face in axis_faces:
+                    axis, high = _FACE_AXES[face]
+                    opp = face ^ 1
+                    contrib = comm.recv(nbrs[face], tag=tag_base + opp)
+                    a[_boundary_slice(a.shape, axis, high,
+                                      ghost=False)] += contrib

@@ -21,6 +21,17 @@ measurement substrate:
   JSON/CSV export.
 - :mod:`~repro.observability.overhead` — self-measurement of what the
   instrumentation itself costs, on and off.
+- :mod:`~repro.observability.counters` — a callback tool annotating
+  kernels with *modeled* hardware counters (flops, DRAM bytes, cache
+  hit rate, coalescing, lane utilization, atomic conflicts) from the
+  performance-model stack — the nsight-compute stand-in.
+- :mod:`~repro.observability.roofline_profiler` — folds counters into
+  per-kernel roofline placements (Figure 8).
+- :mod:`~repro.observability.rank_profile` — one tracer lane per
+  simulated MPI rank, merged Chrome trace, load-imbalance and
+  halo-wait metrics (Figures 9-10).
+- :mod:`~repro.observability.dashboard` — self-contained HTML
+  performance report (``repro profile``).
 
 Everything is **off by default**: with no tool registered the
 dispatch sites reduce to one boolean check, and the expensive
@@ -29,7 +40,9 @@ derived metrics (energy drift, sort disorder) are gated behind
 
 This module imports nothing from the rest of ``repro`` at import
 time — the kokkos layer imports *it*, so the dependency edge must
-stay one-way.
+stay one-way. The counter/roofline/dashboard modules *do* lean on the
+model stack, so they are deliberately not imported here — import them
+directly (``from repro.observability.counters import CounterTool``).
 """
 
 from repro.observability.callbacks import (
@@ -49,6 +62,14 @@ from repro.observability.metrics import (
     detail_enabled,
     set_detail,
 )
+from repro.observability.rank_profile import (
+    RankProfiler,
+    RankProfileReport,
+    current_rank,
+    rank_activity,
+    rank_profiling,
+    rank_scope,
+)
 from repro.observability.tracer import ChromeTracer, tracing
 
 __all__ = [
@@ -58,4 +79,6 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "default_registry", "set_detail", "detail_enabled",
     "ChromeTracer", "tracing",
+    "RankProfiler", "RankProfileReport", "rank_profiling",
+    "rank_scope", "rank_activity", "current_rank",
 ]

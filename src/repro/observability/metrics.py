@@ -33,6 +33,8 @@ name                        kind       meaning
 ``report/section_seconds``  histogram  bench-report section wall time
 ``perfmodel/memo_hits``     counter    prediction-memo cache hits
 ``perfmodel/memo_misses``   counter    prediction-memo cache misses
+``rank/load_imbalance``     gauge      (max-mean)/mean of per-rank push
+``rank/halo_wait_fraction`` gauge      comm share of busy rank time
 ==========================  =========  =================================
 """
 
@@ -154,8 +156,9 @@ class Histogram:
         return float(np.percentile(self._samples, p))
 
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "count": self.count,
+            "total_observed": self.count,
             "sum": self.total,
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
@@ -163,6 +166,12 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
         }
+        if self.count > self.window:
+            # Percentiles cover only the retained window — say so
+            # instead of letting truncation pass silently.
+            snap["note"] = (f"percentiles over last {self.window} of "
+                            f"{self.count} observations")
+        return snap
 
     def reset(self) -> None:
         self.count = 0

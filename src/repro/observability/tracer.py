@@ -43,11 +43,15 @@ class ChromeTracer:
     """
 
     def __init__(self, capacity: int = 65536, pid: int = 0,
-                 clock=time.perf_counter):
+                 clock=time.perf_counter, process_name: str | None = None,
+                 epoch: float | None = None):
         self.buffer = RingBuffer(capacity)
         self.pid = pid
+        self.process_name = process_name
         self._clock = clock
-        self._epoch = clock()
+        # A shared *epoch* puts several tracers (e.g. one per simulated
+        # rank) on one timeline, so their merged trace lines up.
+        self._epoch = epoch if epoch is not None else clock()
         #: kernel_id -> (name, category, begin timestamp in us)
         self._open_kernels: dict[int, tuple[str, str, float]] = {}
         #: per-thread stack of (region name, begin timestamp in us)
@@ -166,10 +170,38 @@ class ChromeTracer:
             out[s.name] = (sec + s.dur_us * 1e-6, n + 1)
         return out
 
+    @property
+    def epoch(self) -> float:
+        """Clock reading all timestamps are relative to."""
+        return self._epoch
+
+    def metadata_events(self) -> list[dict]:
+        """Chrome-trace metadata (``ph: "M"``) naming the lanes.
+
+        Emits ``process_name`` when the tracer has one, and a
+        ``thread_name`` per tid seen in the retained spans — live
+        thread names where the thread still exists, a stable
+        placeholder otherwise — so Perfetto shows names, not bare ids.
+        """
+        events = []
+        if self.process_name:
+            events.append({"name": "process_name", "ph": "M",
+                           "pid": self.pid, "tid": 0,
+                           "args": {"name": self.process_name}})
+        alive = {t.ident & 0xFFFFFFFF: t.name
+                 for t in threading.enumerate() if t.ident is not None}
+        for tid in sorted({s.tid for s in self.buffer}):
+            events.append({"name": "thread_name", "ph": "M",
+                           "pid": self.pid, "tid": tid,
+                           "args": {"name": alive.get(tid,
+                                                      f"thread {tid}")}})
+        return events
+
     def to_chrome(self) -> dict:
         """The full Chrome trace-event document."""
         return {
-            "traceEvents": [s.to_chrome() for s in self.buffer],
+            "traceEvents": self.metadata_events()
+            + [s.to_chrome() for s in self.buffer],
             "displayTimeUnit": "ms",
             "otherData": {
                 "dropped_events": self.buffer.dropped,

@@ -163,12 +163,35 @@ class TestChromeTracer:
         doc = json.loads(path.read_text())
         assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
         assert doc["otherData"]["dropped_events"] == 0
-        assert len(doc["traceEvents"]) == 2
-        for ev in doc["traceEvents"]:
-            assert ev["ph"] == "X"
+        spans = [ev for ev in doc["traceEvents"] if ev["ph"] == "X"]
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        assert len(spans) + len(meta) == len(doc["traceEvents"])
+        assert len(spans) == 2
+        for ev in spans:
             assert ev["dur"] >= 0
             for key in ("name", "cat", "ts", "pid", "tid"):
                 assert key in ev
+        # Metadata events name the lanes for Perfetto/chrome://tracing.
+        assert meta, "expected thread_name metadata for retained spans"
+        for ev in meta:
+            assert ev["name"] in ("process_name", "thread_name")
+            assert ev["args"]["name"]
+
+    def test_metadata_names_process_and_threads(self):
+        tracer = ChromeTracer(pid=7, process_name="rank 7")
+        with tracing(tracer=tracer):
+            with record_kernel("k"):
+                pass
+        meta = {ev["name"]: ev for ev in tracer.metadata_events()}
+        assert meta["process_name"]["args"]["name"] == "rank 7"
+        assert meta["process_name"]["pid"] == 7
+        # The span came from this (live) thread, so its real name shows.
+        assert meta["thread_name"]["args"]["name"] == "MainThread"
+
+    def test_shared_epoch_aligns_tracers(self):
+        a = ChromeTracer(pid=0)
+        b = ChromeTracer(pid=1, epoch=a.epoch)
+        assert b.epoch == a.epoch
 
     def test_ring_eviction_reported_in_export(self):
         with tracing(capacity=2) as tracer:
@@ -180,6 +203,35 @@ class TestChromeTracer:
         assert doc["otherData"]["dropped_events"] == 3
         # the *tail* of the run is retained
         assert tracer.span_names() == {"k3", "k4"}
+
+    def test_ring_eviction_with_nested_regions_keeps_totals_sane(self):
+        """Evicting early spans while outer regions are still open
+        (their begin precedes everything retained, their end survives)
+        must not corrupt per-name totals or produce bogus spans."""
+        with tracing(capacity=4) as tracer:
+            with profiling_region("outer"):
+                for i in range(6):
+                    with profiling_region(f"inner{i}"):
+                        with record_kernel("work"):
+                            pass
+        totals = tracer.totals_by_name()
+        retained = tracer.spans()
+        assert len(retained) == 4
+        # 6 x (kernel span + inner region span) + the outer region.
+        assert tracer.buffer.dropped == 6 * 2 + 1 - 4
+        # Totals cover exactly the retained spans — nothing double
+        # counted from evicted begins, nothing negative.
+        assert sum(n for _, n in totals.values()) == len(retained)
+        assert set(totals) == {s.name for s in retained}
+        for sec, n in totals.values():
+            assert sec >= 0 and n > 0
+        # The outer region closed *after* eviction started and its
+        # span still carries a full, sane duration.
+        outer = [s for s in retained if s.name == "outer"]
+        assert outer and outer[0].dur_us >= 0
+        for s in retained:
+            if s.name != "outer":
+                assert outer[0].encloses(s)
 
 
 class TestMetrics:
@@ -200,6 +252,20 @@ class TestMetrics:
         assert h.count == 100             # exact over all observations
         assert h.min == 0 and h.max == 99
         assert h.percentile(0) == 90      # window holds the tail
+
+    def test_snapshot_reports_total_observed_and_window_note(self):
+        h = Histogram("h", window=10)
+        for v in range(4):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["total_observed"] == 4
+        assert "note" not in snap         # window not yet exceeded
+        for v in range(96):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["total_observed"] == 100
+        assert snap["count"] == 100
+        assert "last 10 of 100" in snap["note"]
 
     def test_counter_rejects_negative(self):
         reg = MetricsRegistry()
