@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Sweep every example deck under the physics guard.
+
+Runs each deck in the CLI registry for a few steps with
+``--guard=raise`` semantics (any invariant violation fails the deck),
+then measures the guard's wall-clock overhead on the clean 16^3
+uniform deck — the acceptance bar is <10% of step time. Use
+``--record`` to merge the overhead numbers into BENCH_3.json next to
+the profiler-overhead baseline (existing keys are preserved, so the
+perf regression tests keep reading their fields):
+
+    PYTHONPATH=src python scripts/guard_sweep.py
+    PYTHONPATH=src python scripts/guard_sweep.py --record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+BASELINE_PATH = REPO / "BENCH_3.json"
+
+DECKS = ("uniform", "two-stream", "weibel", "laser-plasma", "harris")
+
+
+def sweep_decks(steps: int, seed: int) -> bool:
+    from repro.cli import _deck_factory
+    from repro.validate import GuardViolationError, SimulationGuard
+
+    ok = True
+    print(f"{'deck':14s} {'status':10s} {'steps':>6s} {'checks':>7s} "
+          f"{'seconds':>8s}")
+    for name in DECKS:
+        deck = _deck_factory(name, steps, seed)
+        sim = deck.build()
+        guard = SimulationGuard(policy="raise")
+        guard.attach(sim)
+        t0 = time.perf_counter()
+        try:
+            sim.run(steps)
+            status = "clean"
+        except GuardViolationError as exc:
+            status = "VIOLATION"
+            ok = False
+            print(f"  {exc}")
+        finally:
+            guard.close()
+        checks = sum(guard.report.checks_run.values())
+        print(f"{name:14s} {status:10s} {sim.step_count:>6d} "
+              f"{checks:>7d} {time.perf_counter() - t0:>8.2f}")
+    return ok
+
+
+def measure_overhead(steps: int, repeats: int):
+    from repro.validate import measure_guard_overhead
+
+    reports = [measure_guard_overhead(steps=steps)
+               for _ in range(repeats)]
+    best = min(reports, key=lambda r: r.overhead_fraction)
+    print(best.format())
+    return best
+
+
+def record(best, steps: int, repeats: int) -> None:
+    data = (json.loads(BASELINE_PATH.read_text())
+            if BASELINE_PATH.exists() else {})
+    data["guard_overhead"] = {
+        "deck": best.deck_name,
+        "steps": steps,
+        "repeats": repeats,
+        "plain_seconds": round(best.plain_seconds, 4),
+        "guarded_seconds": round(best.guarded_seconds, 4),
+        "overhead_fraction": round(best.overhead_fraction, 4),
+    }
+    BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"guard overhead recorded -> {BASELINE_PATH}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=6,
+                        help="steps per deck in the sweep (default 6)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--overhead-steps", type=int, default=10,
+                        help="steps for the overhead measurement")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="overhead repeats; best-of is reported")
+    parser.add_argument("--record", action="store_true",
+                        help="merge the overhead numbers into "
+                             "BENCH_3.json")
+    args = parser.parse_args(argv)
+
+    ok = sweep_decks(args.steps, args.seed)
+    best = measure_overhead(args.overhead_steps, args.repeats)
+    if args.record:
+        record(best, args.overhead_steps, args.repeats)
+    if not ok:
+        print("sweep FAILED: at least one deck violated an invariant")
+        return 1
+    if best.overhead_fraction > 0.10:
+        print(f"overhead {best.overhead_fraction:.1%} exceeds the "
+              f"10% budget")
+        return 1
+    print("sweep passed: all decks clean, overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

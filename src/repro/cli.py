@@ -15,7 +15,12 @@ workflows without writing Python:
 - ``figures``      regenerate selected paper figures as text tables
 - ``scaling``      print a strong-scaling curve for one system
 - ``checkpoint``   run a deck and write/restore a checkpoint
+- ``validate``     run a deck under the physics guard and print the
+                   guard report
 - ``report``       regenerate the full evaluation report
+
+``run-deck`` also accepts ``--guard[=warn|raise|repair]`` to screen
+the run with the invariant guard (see :mod:`repro.validate`).
 """
 
 from __future__ import annotations
@@ -60,6 +65,12 @@ def cmd_run_deck(args) -> int:
     sim = deck.build()
     print(f"deck '{deck.name}': {sim.grid.n_cells} cells, "
           f"{sim.total_particles} particles, {deck.num_steps} steps")
+    guard = None
+    if getattr(args, "guard", None) is not None:
+        from repro.validate import SimulationGuard
+        guard = SimulationGuard(policy=args.guard)
+        guard.attach(sim)
+        print(f"guard: policy={args.guard}")
     reset_kernel_timings()
     tracer = None
     counter_tool = None
@@ -76,15 +87,27 @@ def cmd_run_deck(args) -> int:
         register_tool(counter_tool)
     try:
         diag = EnergyDiagnostic()
-        sim.run(deck.num_steps, diag,
-                sample_every=max(1, deck.num_steps // 20))
+        try:
+            sim.run(deck.num_steps, diag,
+                    sample_every=max(1, deck.num_steps // 20))
+        except Exception as exc:
+            from repro.validate import GuardViolationError
+            if not isinstance(exc, GuardViolationError):
+                raise
+            print(f"guard violation: {exc}")
+            print(guard.report.format())
+            return 1
     finally:
         if tracer is not None:
             unregister_tool(tracer)
         if counter_tool is not None:
             unregister_tool(counter_tool)
         set_detail(False)
+        if guard is not None:
+            guard.close()
     print(energy_report(diag))
+    if guard is not None:
+        print(guard.report.format())
     if args.timings:
         for label, timer in sorted(kernel_timings().items()):
             print(f"  {label:32s} {timer.seconds * 1e3:9.2f} ms "
@@ -307,6 +330,35 @@ def cmd_checkpoint(args) -> int:
     return 0 if match else 1
 
 
+def cmd_validate(args) -> int:
+    from repro.observability.metrics import default_registry
+    from repro.validate import GuardViolationError, SimulationGuard
+
+    deck = _deck_factory(args.deck, args.steps, args.seed)
+    sim = deck.build()
+    guard = SimulationGuard(policy=args.policy,
+                            checkpoint_interval=args.checkpoint_interval)
+    guard.attach(sim)
+    print(f"validating deck '{deck.name}': {sim.grid.n_cells} cells, "
+          f"{sim.total_particles} particles, {deck.num_steps} steps, "
+          f"policy={args.policy}")
+    default_registry().reset()
+    try:
+        sim.run(deck.num_steps)
+    except GuardViolationError as exc:
+        print(f"guard violation: {exc}")
+        print(guard.report.format())
+        return 1
+    finally:
+        guard.close()
+    print(guard.report.format())
+    if args.overhead:
+        from repro.validate import measure_guard_overhead
+        print(measure_guard_overhead(deck=deck, steps=args.steps or 10,
+                                     policy=args.policy).format())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -325,6 +377,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", metavar="FILE", default=None,
                    help="write an HTML counter-attribution dashboard "
                         "(modeled on A100) for the run")
+    p.add_argument("--guard", nargs="?", const="raise", default=None,
+                   choices=("warn", "raise", "repair"), metavar="POLICY",
+                   help="screen the run with the physics guard "
+                        "(warn|raise|repair; bare --guard means raise)")
     p.set_defaults(fn=cmd_run_deck)
 
     p = sub.add_parser("profile",
@@ -381,6 +437,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--steps", type=int, default=10)
     p.set_defaults(fn=cmd_checkpoint)
+
+    p = sub.add_parser("validate",
+                       help="run a deck under the physics guard")
+    p.add_argument("deck", choices=_DECKS)
+    p.add_argument("--steps", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--policy", default="raise",
+                   choices=("warn", "raise", "repair"),
+                   help="action on invariant violation (default raise)")
+    p.add_argument("--checkpoint-interval", type=int, default=20,
+                   help="auto-checkpoint cadence for rollback (repair "
+                        "policy; default 20 steps)")
+    p.add_argument("--overhead", action="store_true",
+                   help="also measure guard overhead vs an unguarded run")
+    p.set_defaults(fn=cmd_validate)
 
     return parser
 

@@ -54,7 +54,7 @@ class RankState:
 class DistributedSimulation:
     """A deck decomposed over a simulated MPI world."""
 
-    def __init__(self, deck: Deck, n_ranks: int):
+    def __init__(self, deck: Deck, n_ranks: int, guard=None):
         if deck.field_init is not None or deck.perturbation is not None:
             raise ValueError(
                 "distributed driver supports plain decks (no field_init/"
@@ -90,6 +90,11 @@ class DistributedSimulation:
                 r, grid, fields,
                 FieldSolver(fields, external_ghosts=True), species))
         self.step_count = 0
+        #: Optional :class:`~repro.validate.guard.RankGuard`: per-rank
+        #: structural checks at the end of every collective step. A
+        #: rank violation aborts the step deterministically (all
+        #: ranks are checked, then the lowest-rank violation raises).
+        self.guard = guard
 
     # -- collective views ----------------------------------------------------
 
@@ -184,6 +189,8 @@ class DistributedSimulation:
             with rank_activity(rs.rank, "field/advance_e"):
                 rs.solver.advance_e(1.0)
         self.step_count += 1
+        if self.guard is not None:
+            self.guard.check_step(self)
 
     def run(self, num_steps: int) -> None:
         for _ in range(num_steps):

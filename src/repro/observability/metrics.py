@@ -35,6 +35,11 @@ name                        kind       meaning
 ``perfmodel/memo_misses``   counter    prediction-memo cache misses
 ``rank/load_imbalance``     gauge      (max-mean)/mean of per-rank push
 ``rank/halo_wait_fraction`` gauge      comm share of busy rank time
+``guard/checks_run``        counter    invariant checks executed
+``guard/violations``        counter    invariant violations detected
+``guard/repairs``           counter    successful in-place auto-repairs
+``guard/rollbacks``         counter    checkpoint-ring rollbacks taken
+``guard/rank_violations``   counter    per-rank violations (distributed)
 ==========================  =========  =================================
 """
 

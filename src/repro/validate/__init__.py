@@ -1,0 +1,51 @@
+"""Runtime physics guards: invariant checks, policy, and rollback.
+
+The guard layer turns the repo's scattered conservation diagnostics
+(:mod:`repro.vpic.clean`, :mod:`repro.vpic.diagnostics`,
+``esirkepov.continuity_residual``) into an enforced runtime contract:
+attach a :class:`SimulationGuard` to a simulation and every step is
+screened for NaN/Inf, out-of-bounds particles, Gauss-law and div-B
+drift, continuity residual, energy drift, and sort postconditions —
+with per-check ``warn | raise | repair`` policies, divergence-clean
+auto-repair, and checkpoint-ring rollback for everything else.
+
+CLI entry points: ``repro run-deck <deck> --guard[=policy]`` and
+``repro validate <deck>``.
+"""
+
+from repro.validate.checks import (ContinuityCheck, DivBCheck,
+                                   EnergyDriftCheck, FiniteFieldsCheck,
+                                   FiniteParticlesCheck, GaussLawCheck,
+                                   InvariantCheck, ParticleBoundsCheck,
+                                   SortOrderCheck, Violation, default_checks,
+                                   rank_checks)
+from repro.validate.guard import (GuardOverheadReport, RankGuard,
+                                  SimulationGuard, measure_guard_overhead)
+from repro.validate.policy import (GuardAction, GuardEvent, GuardPolicy,
+                                   GuardReport, GuardViolationError)
+from repro.validate.ring import CheckpointRing
+
+__all__ = [
+    "InvariantCheck",
+    "Violation",
+    "FiniteFieldsCheck",
+    "FiniteParticlesCheck",
+    "ParticleBoundsCheck",
+    "GaussLawCheck",
+    "DivBCheck",
+    "ContinuityCheck",
+    "EnergyDriftCheck",
+    "SortOrderCheck",
+    "default_checks",
+    "rank_checks",
+    "GuardAction",
+    "GuardPolicy",
+    "GuardEvent",
+    "GuardReport",
+    "GuardViolationError",
+    "CheckpointRing",
+    "SimulationGuard",
+    "RankGuard",
+    "GuardOverheadReport",
+    "measure_guard_overhead",
+]

@@ -1,0 +1,140 @@
+"""Guard policy: what happens when an invariant is violated.
+
+Three actions, selectable per check with a global default:
+
+- ``warn``   — record the violation and keep stepping;
+- ``raise``  — stop the run with a :class:`GuardViolationError`
+  naming the violated invariant (fail fast);
+- ``repair`` — run the check's in-place repair (divergence cleaning
+  for the Gauss/div-B checks) and, for non-repairable violations,
+  roll the simulation back to the newest auto-checkpoint, bounded by
+  a retry budget.
+
+Every decision lands in the :class:`GuardReport`, the structured
+audit trail a long campaign reads after the fact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.validate.checks import Violation
+
+__all__ = ["GuardAction", "GuardPolicy", "GuardViolationError",
+           "GuardEvent", "GuardReport"]
+
+
+class GuardAction(enum.Enum):
+    WARN = "warn"
+    RAISE = "raise"
+    REPAIR = "repair"
+
+
+@dataclass
+class GuardPolicy:
+    """Per-check action table with a default."""
+
+    default: GuardAction = GuardAction.RAISE
+    overrides: dict[str, GuardAction] = field(default_factory=dict)
+
+    @classmethod
+    def named(cls, name: "str | GuardAction | GuardPolicy") -> "GuardPolicy":
+        """Coerce a policy name (``"warn"``/``"raise"``/``"repair"``),
+        action, or ready policy into a :class:`GuardPolicy`."""
+        if isinstance(name, GuardPolicy):
+            return name
+        if isinstance(name, GuardAction):
+            return cls(default=name)
+        return cls(default=GuardAction(name))
+
+    def action_for(self, check_name: str) -> GuardAction:
+        return self.overrides.get(check_name, self.default)
+
+
+class GuardViolationError(RuntimeError):
+    """A guarded run stopped on an invariant violation."""
+
+    def __init__(self, violation: Violation, context: str = ""):
+        self.violation = violation
+        msg = str(violation)
+        if context:
+            msg = f"{msg} [{context}]"
+        super().__init__(msg)
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One guard decision: what was violated and what was done."""
+
+    step: int
+    check: str
+    action: str
+    value: float
+    threshold: float
+    message: str
+    detail: str = ""
+
+
+@dataclass
+class GuardReport:
+    """Structured audit trail of one guarded run."""
+
+    events: list[GuardEvent] = field(default_factory=list)
+    checks_run: dict[str, int] = field(default_factory=dict)
+    steps_guarded: int = 0
+
+    def record_run(self, check_name: str) -> None:
+        self.checks_run[check_name] = self.checks_run.get(check_name, 0) + 1
+
+    def record(self, violation: Violation, action: str,
+               detail: str = "") -> GuardEvent:
+        ev = GuardEvent(step=violation.step, check=violation.check,
+                        action=action, value=violation.value,
+                        threshold=violation.threshold,
+                        message=violation.message, detail=detail)
+        self.events.append(ev)
+        return ev
+
+    # -- aggregates -----------------------------------------------------------
+
+    def count(self, action: str) -> int:
+        return sum(1 for ev in self.events if ev.action == action)
+
+    @property
+    def violations(self) -> int:
+        return len(self.events)
+
+    @property
+    def warnings(self) -> int:
+        return self.count("warn")
+
+    @property
+    def repairs(self) -> int:
+        return self.count("repair")
+
+    @property
+    def rollbacks(self) -> int:
+        return self.count("rollback")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def format(self) -> str:
+        """Human-readable summary table."""
+        total_checks = sum(self.checks_run.values())
+        lines = [
+            f"guard report: {self.steps_guarded} steps guarded, "
+            f"{total_checks} checks run, {self.violations} violations "
+            f"({self.warnings} warned, {self.repairs} repaired, "
+            f"{self.rollbacks} rollbacks)"]
+        for name in sorted(self.checks_run):
+            lines.append(f"  {name:18s} x{self.checks_run[name]}")
+        if self.events:
+            lines.append("events:")
+            for ev in self.events:
+                detail = f" ({ev.detail})" if ev.detail else ""
+                lines.append(
+                    f"  step {ev.step:6d} {ev.check:18s} "
+                    f"{ev.action:8s} {ev.message}{detail}")
+        return "\n".join(lines)

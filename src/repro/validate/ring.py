@@ -1,0 +1,81 @@
+"""Bounded auto-checkpoint ring backing guard rollback.
+
+The guard pushes a validated snapshot every N steps; the ring keeps
+the newest ``depth`` of them on disk (uncompressed ``.npz`` via
+:func:`repro.vpic.checkpoint.save_checkpoint` — rollback wants write
+speed, not archival density) and evicts the oldest. Snapshots live in
+a private temporary directory by default, cleaned up with the ring.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import deque
+from pathlib import Path
+
+from repro.vpic.checkpoint import restore_state_into, save_checkpoint
+
+__all__ = ["CheckpointRing"]
+
+
+class CheckpointRing:
+    """Newest-``depth`` rolling checkpoints of one simulation."""
+
+    def __init__(self, depth: int = 2, directory: str | Path | None = None):
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.depth = depth
+        self._tmp = None
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-guard-")
+            directory = self._tmp.name
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._entries: deque[tuple[int, Path]] = deque()
+        self.pushes = 0
+
+    @property
+    def entries(self) -> list[tuple[int, Path]]:
+        """(step, path) pairs, oldest first."""
+        return list(self._entries)
+
+    def newest(self) -> tuple[int, Path] | None:
+        return self._entries[-1] if self._entries else None
+
+    def push(self, sim) -> Path:
+        """Snapshot *sim*, evicting the oldest entry beyond depth.
+
+        Re-pushing the same step (it happens after a rollback re-runs
+        to a checkpointed step) overwrites in place instead of
+        duplicating the entry.
+        """
+        path = self.directory / f"guard-{sim.step_count:08d}.npz"
+        save_checkpoint(sim, path, compress=False)
+        if not (self._entries and self._entries[-1][0] == sim.step_count):
+            self._entries.append((sim.step_count, path))
+        self.pushes += 1
+        while len(self._entries) > self.depth:
+            _, old = self._entries.popleft()
+            old.unlink(missing_ok=True)
+        return path
+
+    def rollback(self, sim) -> int:
+        """Restore the newest snapshot into *sim* in place; returns
+        the restored step count."""
+        newest = self.newest()
+        if newest is None:
+            raise LookupError("checkpoint ring is empty")
+        _, path = newest
+        return restore_state_into(sim, path)
+
+    def close(self) -> None:
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        steps = [s for s, _ in self._entries]
+        return f"CheckpointRing(depth={self.depth}, steps={steps})"

@@ -8,6 +8,34 @@ live arrays; restore reconstructs a bit-identical
 :class:`~repro.vpic.simulation.Simulation` (verified by the tests:
 stepping the original and the restored run produces identical
 trajectories).
+
+Format version 2 additionally persists:
+
+- per-species array **capacity**, so a restored run has the same
+  overflow headroom as the original (version 1 silently shrank
+  capacity to ``max(1024, n)``, making post-restore injection or
+  exchange overflow earlier than the pre-checkpoint run would);
+- the energy-drift reference ``Simulation._energy0`` (the detail-mode
+  ``sim/energy_drift`` gauge keeps its original baseline across a
+  restart);
+- the Mur absorbing-boundary history slabs for ``ABSORBING_X`` decks
+  (the first-order ABC is a one-step recursion; without its previous
+  boundary values a restored run diverges at the open faces).
+
+Version-1 files still load, with capacity defaulting to the old
+``max(1024, n)`` behavior.
+
+**Determinism contract.** Restore is bit-identical iff every source
+of randomness is either replayed from persisted state or external to
+the loop. The in-loop stochastic state is the sort policy's
+``(seed, sorts_performed)`` pair (persisted; the RANDOM sort kind
+derives its generator from it each sort) and the Mur ABC history
+(persisted in v2). Particle loading RNG runs only at deck build time
+and never after restore. Anything a *caller* drives per step — e.g.
+:class:`~repro.vpic.injection.LaserAntenna` — must be a pure function
+of ``step_count`` (the antenna is), or the caller owns persisting its
+state. The test suite pins this contract for the RANDOM-sort and
+antenna-driven absorbing decks.
 """
 
 from __future__ import annotations
@@ -26,14 +54,30 @@ from repro.vpic.simulation import Simulation
 from repro.vpic.sort_step import SortStep
 from repro.vpic.species import Species
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "restore_state_into"]
 
 _FIELDS = ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz")
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
-def save_checkpoint(sim: Simulation, path: str | Path) -> Path:
-    """Write the simulation state to *path* (.npz). Returns the path."""
+def _mur_entries(sim: Simulation):
+    """(key, array) pairs of Mur ABC history, if the solver has one."""
+    mur = getattr(sim.solver, "mur", None)
+    if mur is None:
+        return []
+    return [(f"mur_{axis}_{int(high)}_{comp}", arr)
+            for (axis, high, comp), arr in sorted(mur._prev.items())]
+
+
+def save_checkpoint(sim: Simulation, path: str | Path,
+                    compress: bool = True) -> Path:
+    """Write the simulation state to *path* (.npz). Returns the path.
+
+    *compress* selects ``savez_compressed`` (the archival default)
+    vs plain ``savez`` — the guard subsystem's auto-checkpoint ring
+    uses the uncompressed fast path to keep per-snapshot cost low.
+    """
     path = Path(path)
     g = sim.grid
     meta = {
@@ -50,8 +94,10 @@ def save_checkpoint(sim: Simulation, path: str | Path) -> Path:
                  "interval": sim.sort_step.interval,
                  "seed": sim.sort_step.seed,
                  "sorts_performed": sim.sort_step.sorts_performed},
-        "species": [{"name": sp.name, "q": sp.q, "m": sp.m, "n": sp.n}
+        "species": [{"name": sp.name, "q": sp.q, "m": sp.m, "n": sp.n,
+                     "capacity": sp.capacity}
                     for sp in sim.species],
+        "energy0": sim._energy0,
     }
     arrays: dict[str, np.ndarray] = {
         "_meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
@@ -61,7 +107,10 @@ def save_checkpoint(sim: Simulation, path: str | Path) -> Path:
     for i, sp in enumerate(sim.species):
         for attr in Species._ARRAYS:
             arrays[f"sp{i}_{attr}"] = sp.live(attr)
-    np.savez_compressed(path, **arrays)
+    for key, arr in _mur_entries(sim):
+        arrays[key] = arr
+    writer = np.savez_compressed if compress else np.savez
+    writer(path, **arrays)
     return path
 
 
@@ -72,10 +121,10 @@ def load_checkpoint(path: str | Path) -> Simulation:
         raise FileNotFoundError(f"no checkpoint at {path}")
     with np.load(path) as data:
         meta = json.loads(bytes(data["_meta"]).decode())
-        if meta.get("version") != _FORMAT_VERSION:
+        if meta.get("version") not in _SUPPORTED_VERSIONS:
             raise ValueError(
                 f"checkpoint version {meta.get('version')} not supported "
-                f"(expected {_FORMAT_VERSION})")
+                f"(expected one of {_SUPPORTED_VERSIONS})")
         gm = meta["grid"]
         grid = Grid(gm["nx"], gm["ny"], gm["nz"], gm["dx"], gm["dy"],
                     gm["dz"], gm["x0"], gm["y0"], gm["z0"], gm["dt"])
@@ -84,9 +133,13 @@ def load_checkpoint(path: str | Path) -> Simulation:
             getattr(fields, name).data[...] = data[f"field_{name}"]
         species = []
         for i, sm in enumerate(meta["species"]):
-            sp = Species(sm["name"], sm["q"], sm["m"], grid,
-                         capacity=max(1024, sm["n"]))
             n = sm["n"]
+            # v1 files carry no capacity; fall back to the historical
+            # reconstruction (which could shrink the original run's
+            # headroom — the reason v2 persists it).
+            capacity = max(1024, n, sm.get("capacity", 0))
+            sp = Species(sm["name"], sm["q"], sm["m"], grid,
+                         capacity=capacity)
             sp.n = n
             for attr in Species._ARRAYS:
                 getattr(sp, attr)[:n] = data[f"sp{i}_{attr}"]
@@ -107,4 +160,51 @@ def load_checkpoint(path: str | Path) -> Simulation:
                                sorts_performed=sort_meta["sorts_performed"]),
             step_count=meta["step_count"],
         )
+        sim._energy0 = meta.get("energy0")
+        mur = getattr(sim.solver, "mur", None)
+        if mur is not None:
+            for key_tuple in mur._prev:
+                axis, high, comp = key_tuple
+                name = f"mur_{axis}_{int(high)}_{comp}"
+                if name in data.files:
+                    mur._prev[key_tuple] = np.array(data[name],
+                                                    dtype=np.float32)
         return sim
+
+
+def restore_state_into(sim: Simulation, path: str | Path) -> int:
+    """Restore a checkpoint *in place* into an existing simulation.
+
+    Used by the guard subsystem's rollback: the live
+    :class:`Simulation` object (and everything holding a reference to
+    it) keeps its identity while its state rewinds to the snapshot.
+    The checkpoint must describe the same grid geometry and species
+    list. Returns the restored step count.
+    """
+    restored = load_checkpoint(path)
+    g, rg = sim.grid, restored.grid
+    if (g.nx, g.ny, g.nz) != (rg.nx, rg.ny, rg.nz):
+        raise ValueError(
+            f"checkpoint grid {(rg.nx, rg.ny, rg.nz)} does not match "
+            f"simulation grid {(g.nx, g.ny, g.nz)}")
+    if [sp.name for sp in sim.species] != \
+            [sp.name for sp in restored.species]:
+        raise ValueError("checkpoint species do not match simulation")
+    for name in _FIELDS:
+        getattr(sim.fields, name).data[...] = \
+            getattr(restored.fields, name).data
+    for dst, src in zip(sim.species, restored.species):
+        if dst.capacity < src.n:
+            dst._ensure_capacity(src.n)
+        dst.n = src.n
+        for attr in Species._ARRAYS:
+            getattr(dst, attr)[:src.n] = getattr(src, attr)[:src.n]
+    sim.sort_step = restored.sort_step
+    sim.step_count = restored.step_count
+    sim._energy0 = restored._energy0
+    mur = getattr(sim.solver, "mur", None)
+    restored_mur = getattr(restored.solver, "mur", None)
+    if mur is not None and restored_mur is not None:
+        for key_tuple in mur._prev:
+            mur._prev[key_tuple] = restored_mur._prev[key_tuple]
+    return sim.step_count

@@ -56,11 +56,23 @@ class EnergyDiagnostic:
 
     def max_total_drift(self) -> float:
         """Max relative deviation of total energy from its initial
-        value (conservation metric)."""
+        value (conservation metric).
+
+        The denominator is guarded for cold decks: a zero initial
+        total (zero fields, zero-momentum particles) falls back to
+        the largest |total| seen, so a deck that *gains* energy from
+        a cold start reports a finite, usable drift instead of 0/0.
+        A deck that stays exactly cold reports 0.
+        """
         totals = self.series("total")
-        if totals.size == 0 or totals[0] == 0:
+        if totals.size == 0:
             return 0.0
-        return float(np.max(np.abs(totals - totals[0])) / totals[0])
+        ref = abs(float(totals[0]))
+        if ref == 0.0:
+            ref = float(np.max(np.abs(totals)))
+            if ref == 0.0:
+                return 0.0
+        return float(np.max(np.abs(totals - totals[0])) / ref)
 
 
 def exponential_growth_rate(times: np.ndarray, values: np.ndarray,

@@ -52,6 +52,10 @@ class Simulation:
     deposition: DepositionKind = DepositionKind.CIC
     sort_step: SortStep = field(default_factory=SortStep)
     step_count: int = 0
+    #: Optional runtime invariant guard (see :mod:`repro.validate`);
+    #: when set, :meth:`step` brackets every timestep with its
+    #: before/after hooks.
+    guard: object | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -147,9 +151,18 @@ class Simulation:
                 advance_positions(x, y, z, ux, uy, uz, g.dt)
 
     def step(self) -> None:
-        """Advance the whole system by one timestep."""
+        """Advance the whole system by one timestep.
+
+        With a guard attached, the step is bracketed by its hooks:
+        ``before_step`` arms two-sided checks and seeds the rollback
+        ring, ``after_step`` runs the due invariant checks and may
+        warn, raise, repair in place, or roll the state back to the
+        newest validated checkpoint (rewinding ``step_count``).
+        """
         t0 = time.perf_counter()
         pushed = 0
+        if self.guard is not None:
+            self.guard.before_step(self)
         with profiling_region("step"):
             self._solver.advance_b(0.5)
             self.fields.clear_currents()
@@ -174,6 +187,8 @@ class Simulation:
         reg.histogram("sim/step_seconds").observe(time.perf_counter() - t0)
         if detail_enabled():
             self._record_energy_drift(reg)
+        if self.guard is not None:
+            self.guard.after_step(self)
 
     def _record_energy_drift(self, reg) -> None:
         """Energy-conservation drift gauge (detail-mode metric).
@@ -192,12 +207,21 @@ class Simulation:
 
     def run(self, num_steps: int, diagnostic=None,
             sample_every: int = 1) -> None:
-        """Run *num_steps*, recording *diagnostic* every N steps."""
+        """Run until ``step_count`` advances by *num_steps*, recording
+        *diagnostic* every N steps.
+
+        The loop drives toward a target step count rather than a
+        fixed iteration count, so a guard rollback (which rewinds
+        ``step_count``) re-runs the rewound steps instead of silently
+        shortening the run; the guard's retry budget bounds the
+        re-execution.
+        """
         if num_steps <= 0:
             raise ValueError(f"num_steps must be positive, got {num_steps}")
         if diagnostic is not None and self.step_count == 0:
             diagnostic.record(self)
-        for _ in range(num_steps):
+        target = self.step_count + num_steps
+        while self.step_count < target:
             self.step()
             if diagnostic is not None and \
                     self.step_count % sample_every == 0:

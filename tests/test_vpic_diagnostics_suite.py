@@ -198,3 +198,46 @@ class TestTwoStreamMode:
         # fastest-growing mode: k ~ 0.6/v0 ... 1.0/v0 band
         assert 0.3 / 0.1 < k_dom < 1.5 / 0.1
         assert power > 0
+
+
+class TestEnergyDriftGuardedDenominator:
+    """Regression: ``max_total_drift`` on a cold deck (zero initial
+    total energy) used to return 0.0 unconditionally — a deck that
+    *gained* energy from a cold start reported perfect conservation."""
+
+    def _diag(self, totals):
+        from repro.vpic.diagnostics import EnergyDiagnostic, EnergySample
+        diag = EnergyDiagnostic()
+        for step, k in enumerate(totals):
+            diag.samples.append(EnergySample(step, float(step), 0.0, 0.0, k))
+        return diag
+
+    def test_cold_deck_gaining_energy_reports_nonzero_drift(self):
+        diag = self._diag([0.0, 0.5, 1.0])
+        # Deviation 1.0 against the max-|total| fallback reference.
+        assert diag.max_total_drift() == pytest.approx(1.0)
+
+    def test_exactly_cold_run_reports_zero(self):
+        diag = self._diag([0.0, 0.0, 0.0])
+        assert diag.max_total_drift() == 0.0
+
+    def test_warm_deck_unchanged(self):
+        diag = self._diag([2.0, 2.5, 1.5])
+        assert diag.max_total_drift() == pytest.approx(0.25)
+
+    def test_empty_series(self):
+        diag = self._diag([])
+        assert diag.max_total_drift() == 0.0
+
+    def test_guarded_denominator_from_live_cold_sim(self):
+        """A genuinely cold deck driven by an external field kick."""
+        from repro.vpic.diagnostics import EnergyDiagnostic
+        deck = uniform_plasma_deck(nx=6, ny=6, nz=6, ppc=2, uth=0.0,
+                                   num_steps=5)
+        sim = deck.build()
+        diag = EnergyDiagnostic()
+        diag.record(sim)
+        assert diag.samples[0].total == 0.0
+        sim.fields.ex.data[...] += 0.1     # external kick
+        sim.run(3, diag)
+        assert diag.max_total_drift() > 0.0
