@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Step-loop throughput baselines: fast path vs reference (BENCH_5.json).
+
+For each example deck, times the whole simulation step (plain,
+unguarded, no tools attached) under the default fast
+:class:`~repro.core.tuning.StepPlan` and under
+``StepPlan.reference_plan()`` — the original kernel-by-kernel path —
+taking the best of several repeats to shed scheduler noise. The
+recorded particles-pushed-per-second figures are the baselines the
+``perf``-marked regression test (tests/test_perf_regression.py)
+compares against:
+
+    PYTHONPATH=src python scripts/bench_step.py
+    PYTHONPATH=src python -m pytest -m perf
+
+Use ``--check`` to print timings without rewriting the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+OUT_PATH = REPO / "BENCH_5.json"
+
+#: (deck key, measured steps) — the big decks use fewer timed steps.
+DECKS = (
+    ("uniform", 30),
+    ("two-stream", 20),
+    ("weibel", 20),
+    ("laser-plasma", 10),
+    ("harris", 10),
+)
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _deck(name: str):
+    from repro.vpic import workloads as w
+    return {
+        "uniform": w.uniform_plasma_deck,
+        "two-stream": w.two_stream_deck,
+        "weibel": w.weibel_deck,
+        "laser-plasma": w.laser_plasma_deck,
+        "harris": w.harris_sheet_deck,
+    }[name](seed=0)
+
+
+def bench_deck(name: str, steps: int, repeats: int = 3) -> dict:
+    """Best-of-*repeats* fast vs reference throughput for one deck."""
+    from repro.bench.push_bench import measure_step_throughput
+    from repro.core.tuning import StepPlan
+
+    best: dict[str, dict] = {}
+    for plan_name, plan in (("reference", StepPlan.reference_plan()),
+                            ("fast", StepPlan())):
+        for _ in range(repeats):
+            r = measure_step_throughput(_deck(name), steps=steps,
+                                        warm=max(2, steps // 6),
+                                        plan=plan)
+            if (plan_name not in best
+                    or r["seconds_per_step"]
+                    < best[plan_name]["seconds_per_step"]):
+                best[plan_name] = r
+    ref, fast = best["reference"], best["fast"]
+    return {
+        "steps": steps,
+        "repeats": repeats,
+        "particles": fast["particles"],
+        "native_used": fast["native_used"],
+        "reference_seconds_per_step": round(
+            ref["seconds_per_step"], 6),
+        "fast_seconds_per_step": round(fast["seconds_per_step"], 6),
+        "reference_particles_per_second": round(
+            ref["particles_per_second"]),
+        "fast_particles_per_second": round(
+            fast["particles_per_second"]),
+        "speedup": round(ref["seconds_per_step"]
+                         / fast["seconds_per_step"], 3),
+        "fast_kernel_ms_per_step": {
+            k: round(v, 4)
+            for k, v in fast["kernel_ms_per_step"].items()},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="print timings without rewriting baselines")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    from repro.core.tuning import StepPlan
+    from repro.vpic.native import native_status
+
+    print(f"step plan: {StepPlan()}")
+    print(f"native lane: {native_status()}")
+    decks = {}
+    for name, steps in DECKS:
+        r = bench_deck(name, steps, repeats=args.repeats)
+        decks[name] = r
+        print(f"{name:14s} ref {r['reference_seconds_per_step']*1e3:8.2f} "
+              f"ms/step  fast {r['fast_seconds_per_step']*1e3:8.2f} ms/step"
+              f"  {r['speedup']:5.2f}x"
+              f"  ({r['fast_particles_per_second']:.3g} particles/s, "
+              f"native={r['native_used']})")
+
+    record = {
+        "benchmark": "step_throughput",
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "git_head": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "native_status": native_status(),
+        "decks": decks,
+    }
+    if args.check:
+        return 0
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"baseline -> {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,8 +63,12 @@ def cmd_run_deck(args) -> int:
     profile_path = getattr(args, "profile", None)
     deck = _deck_factory(args.deck, args.steps, args.seed)
     sim = deck.build()
+    if getattr(args, "reference_step", False):
+        from repro.core.tuning import StepPlan
+        sim.step_plan = StepPlan.reference_plan()
     print(f"deck '{deck.name}': {sim.grid.n_cells} cells, "
           f"{sim.total_particles} particles, {deck.num_steps} steps")
+    print(f"step plan: {sim.step_plan}")
     guard = None
     if getattr(args, "guard", None) is not None:
         from repro.validate import SimulationGuard
@@ -381,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("warn", "raise", "repair"), metavar="POLICY",
                    help="screen the run with the physics guard "
                         "(warn|raise|repair; bare --guard means raise)")
+    p.add_argument("--reference-step", action="store_true",
+                   help="force the reference kernel-by-kernel step "
+                        "path instead of the fused fast path")
     p.set_defaults(fn=cmd_run_deck)
 
     p = sub.add_parser("profile",

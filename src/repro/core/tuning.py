@@ -26,7 +26,9 @@ from repro.simd.packs import simd_width_for
 
 __all__ = [
     "SortPlan",
+    "StepPlan",
     "select_sort",
+    "select_step_plan",
     "select_tile_size",
     "select_strategy",
     "grid_fits_in_cache",
@@ -49,6 +51,58 @@ class SortPlan:
     def __str__(self) -> str:
         extra = f", tile={self.tile_size}" if self.tile_size else ""
         return f"{self.kind.value}{extra} ({self.reason})"
+
+
+#: Particles per tile in the fused push. A fixed constant — not
+#: derived from the host's core count or cache size — so runs are
+#: deterministic across machines (the checkpoint determinism
+#: contract). 8K float32 lanes keep every scratch buffer L2-resident
+#: on all Table-1 CPUs.
+STEP_TILE = 8192
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    """Which path the per-step PIC kernels take (mirrors SortPlan).
+
+    The default is the fast path: bin-reduce (segment reduction)
+    deposition, the fused zero-allocation push, the native compiled
+    kernel when a C compiler is available, and concurrent rank
+    stepping in distributed runs. ``StepPlan.reference_plan()`` is the
+    original kernel-by-kernel path the equivalence tests compare
+    against.
+    """
+
+    reference: bool = False
+    bin_deposit: bool = True    # segment-reduction deposition
+    fused: bool = True          # tiled zero-allocation fused push
+    native: bool = True         # compiled kernel when a compiler exists
+    threaded_ranks: bool = True  # concurrent rank kernels (distributed)
+    tile_size: int = STEP_TILE
+    reason: str = "default fast path"
+
+    @classmethod
+    def reference_plan(cls) -> "StepPlan":
+        return cls(reference=True, bin_deposit=False, fused=False,
+                   native=False, threaded_ranks=False,
+                   reason="reference kernels (equivalence baseline)")
+
+    def __str__(self) -> str:
+        if self.reference:
+            return f"reference ({self.reason})"
+        parts = [p for p, on in (("bin-deposit", self.bin_deposit),
+                                 ("fused", self.fused),
+                                 ("native", self.native),
+                                 ("threaded-ranks", self.threaded_ranks))
+                 if on]
+        return f"fast[{'+'.join(parts)}] tile={self.tile_size} ({self.reason})"
+
+
+def select_step_plan(reference: bool = False) -> StepPlan:
+    """The step-path choice: reference for validation, fast otherwise."""
+    if reference:
+        return StepPlan.reference_plan()
+    return StepPlan()
 
 
 def grid_fits_in_cache(platform: PlatformSpec, grid_points: int,

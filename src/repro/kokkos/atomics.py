@@ -24,37 +24,64 @@ __all__ = [
     "atomic_min",
     "atomic_max",
     "atomic_fetch_add",
+    "segment_add",
     "AtomicCounters",
     "atomic_counters",
     "reset_atomic_counters",
     "collect_atomics",
+    "accounting_enabled",
 ]
 
 
 @dataclass
 class AtomicCounters:
-    """Tally of atomic operations and duplicate-target conflicts."""
+    """Tally of atomic operations and duplicate-target conflicts.
+
+    ``operations`` and ``calls`` are always exact. The duplicate
+    structure (``distinct_targets``/``conflicts``) is measured only on
+    every ``sample_every``-th call, because counting distinct keys is
+    the expensive part; ``conflict_fraction`` normalizes by the
+    operations actually sampled so the estimate stays unbiased. The
+    count itself is sort-free: keys are shifted to a zero base and
+    histogrammed with ``np.bincount`` (O(N + range)), falling back to
+    ``np.unique`` only when the key range is too sparse for a
+    histogram to be worth its memory.
+    """
 
     operations: int = 0
     distinct_targets: int = 0
     conflicts: int = 0     # operations beyond the first per target, per call
     calls: int = 0
+    sample_every: int = 1
+    sampled_calls: int = 0
+    sampled_operations: int = 0
 
     def observe(self, indices: np.ndarray) -> None:
-        n = int(indices.size)
+        idx = np.asarray(indices).ravel()
+        n = int(idx.size)
         if n == 0:
             return
-        distinct = int(np.unique(indices).size)
         self.operations += n
+        self.calls += 1
+        if self.sample_every > 1 and (self.calls - 1) % self.sample_every:
+            return
+        lo = int(idx.min())
+        span = int(idx.max()) - lo + 1
+        if span <= 4 * n + 1024:
+            distinct = int(np.count_nonzero(
+                np.bincount(idx - lo, minlength=span)))
+        else:
+            distinct = int(np.unique(idx).size)
+        self.sampled_calls += 1
+        self.sampled_operations += n
         self.distinct_targets += distinct
         self.conflicts += n - distinct
-        self.calls += 1
 
     @property
     def conflict_fraction(self) -> float:
-        if self.operations == 0:
+        if self.sampled_operations == 0:
             return 0.0
-        return self.conflicts / self.operations
+        return self.conflicts / self.sampled_operations
 
 
 _counters = AtomicCounters()
@@ -75,8 +102,9 @@ def reset_atomic_counters() -> None:
 def collect_atomics() -> Iterator[AtomicCounters]:
     """Enable conflict accounting within the block; yields the tally.
 
-    Accounting costs a ``np.unique`` per call, so it is off by default
-    and enabled only by the models/benchmarks that need it.
+    Accounting costs a distinct-key count per sampled call (see
+    :class:`AtomicCounters`), so it is off by default and enabled only
+    by the models/benchmarks that need it.
     """
     global _accounting_enabled
     saved = _accounting_enabled
@@ -85,6 +113,11 @@ def collect_atomics() -> Iterator[AtomicCounters]:
         yield _counters
     finally:
         _accounting_enabled = saved
+
+
+def accounting_enabled() -> bool:
+    """Whether a :func:`collect_atomics` block is currently active."""
+    return _accounting_enabled
 
 
 def _raw(target) -> np.ndarray:
@@ -102,6 +135,33 @@ def atomic_add(target, indices, values) -> None:
     idx = np.asarray(indices)
     _observe(idx)
     np.add.at(arr, idx, values)
+
+
+def segment_add(target, indices, values,
+                accumulator: np.ndarray | None = None) -> None:
+    """``target[indices] += values`` as a bin-reduce segment reduction.
+
+    Duplicate-key correct like :func:`atomic_add`, but implemented as
+    one ``np.bincount`` pass over ravelled keys, accumulating in
+    float64 and casting once — the §5.4 scatter restructured as a
+    segment reduction instead of per-lane atomics. Contention
+    accounting observes the same key stream the atomic version would.
+
+    Pass a float64 *accumulator* (flat, ``target.size``) to defer the
+    cast: contributions add into it and the caller folds into *target*
+    once at the end (how the fused step accumulates all tiles).
+    """
+    arr = _raw(target)
+    idx = np.asarray(indices).ravel()
+    _observe(idx)
+    if idx.size == 0:
+        return
+    binned = np.bincount(idx, weights=np.asarray(values).ravel(),
+                         minlength=arr.size)
+    if accumulator is not None:
+        accumulator += binned
+    else:
+        arr += binned.astype(arr.dtype)
 
 
 def atomic_sub(target, indices, values) -> None:

@@ -15,14 +15,18 @@ E/B ghost refresh.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.tuning import StepPlan
+from repro.kokkos.atomics import accounting_enabled
 from repro.mpi.comm import World
 from repro.mpi.decomposition import CartDecomposition
 from repro.mpi.halo import exchange_ghost_cells, reduce_ghost_sums
 from repro.mpi.particle_exchange import migrate_particles
+from repro.observability.callbacks import tools_active
 from repro.observability.rank_profile import rank_activity
 from repro.vpic.boris import advance_positions, boris_push
 from repro.vpic.deck import Deck
@@ -34,6 +38,11 @@ from repro.vpic.particles import load_maxwellian, load_uniform
 from repro.vpic.species import Species
 
 __all__ = ["DistributedSimulation", "RankState"]
+
+#: Upper bound on concurrent rank-stepping threads. Rank counts above
+#: this share threads; determinism is unaffected (ranks touch
+#: disjoint state between barriers).
+MAX_RANK_THREADS = 8
 
 _E_NAMES = ("ex", "ey", "ez")
 _B_NAMES = ("bx", "by", "bz")
@@ -54,7 +63,8 @@ class RankState:
 class DistributedSimulation:
     """A deck decomposed over a simulated MPI world."""
 
-    def __init__(self, deck: Deck, n_ranks: int, guard=None):
+    def __init__(self, deck: Deck, n_ranks: int, guard=None,
+                 plan: StepPlan | None = None):
         if deck.field_init is not None or deck.perturbation is not None:
             raise ValueError(
                 "distributed driver supports plain decks (no field_init/"
@@ -95,6 +105,19 @@ class DistributedSimulation:
         #: rank violation aborts the step deterministically (all
         #: ranks are checked, then the lowest-rank violation raises).
         self.guard = guard
+        #: Step-path selection; ``threaded_ranks`` fans the
+        #: independent per-rank kernel loops out over a persistent
+        #: thread pool (ranks touch disjoint state between the serial
+        #: exchange/reduce barriers, so results are bit-identical to
+        #: serial stepping).
+        self.plan = plan if plan is not None else StepPlan()
+        self._pool: ThreadPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Shut down the rank-stepping thread pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # -- collective views ----------------------------------------------------
 
@@ -150,44 +173,91 @@ class DistributedSimulation:
 
     # -- the distributed step ----------------------------------------------------------
 
+    def _threading_ok(self) -> bool:
+        """Whether this step may fan ranks out over threads.
+
+        Threading is plan-gated and disabled whenever an observability
+        tool or atomic-contention accounting is live: those record
+        into shared per-process state, and keeping their event order
+        deterministic matters more than overlapping rank loops.
+        """
+        return (self.plan.threaded_ranks
+                and not self.plan.reference
+                and self.world.size > 1
+                and not tools_active()
+                and not accounting_enabled())
+
+    def _for_each_rank(self, fn) -> None:
+        """Run *fn(rank_state)* for every rank, threaded when allowed.
+
+        Ranks touch only their own state between barriers, so the
+        threaded fan-out is bit-identical to the serial loop; the
+        ``list()`` drains the map so any rank exception re-raises
+        here, lowest rank first.
+        """
+        if not self._threading_ok():
+            for rs in self.ranks:
+                fn(rs)
+            return
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(MAX_RANK_THREADS, self.world.size),
+                thread_name_prefix="rank-step")
+        list(self._pool.map(fn, self.ranks))
+
+    def _rank_push(self, rs: RankState) -> None:
+        """One rank's particle phase (reference kernel sequence)."""
+        for sp in rs.species:
+            if sp.n == 0:
+                continue
+            with rank_activity(rs.rank, f"push/{sp.name}"):
+                x, y, z = sp.positions()
+                ux, uy, uz = sp.momenta()
+                ex, ey, ez, bx, by, bz = gather_fields(
+                    rs.fields, x, y, z)
+                boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
+                           sp.q, sp.m, self.dt)
+                deposit_current(rs.fields, x, y, z, ux, uy, uz,
+                                sp.live("w"), sp.q)
+                advance_positions(x, y, z, ux, uy, uz, self.dt)
+
     def step(self) -> None:
         """One full distributed timestep (VPIC ordering).
 
-        Each rank's local work runs under a
+        The independent per-rank kernel loops (field half-advances,
+        pushes, E advance) run through :meth:`_for_each_rank` — a
+        persistent thread pool when the plan allows, serial otherwise;
+        exchanges, migration, and ghost reductions stay serial at the
+        barriers so the collective ordering is deterministic either
+        way. Each rank's local work runs under a
         :func:`~repro.observability.rank_profile.rank_activity`
         marker, so a registered profiler sees one lane per rank; with
         no tool attached the markers are a shared no-op context.
         """
-        self._exchange_fields(_E_NAMES + _B_NAMES)
-        for rs in self.ranks:
+
+        def half_b_and_clear(rs: RankState) -> None:
             with rank_activity(rs.rank, "field/advance_b"):
                 rs.solver.advance_b(0.5)
                 rs.fields.clear_currents()
+
+        def half_b(rs: RankState) -> None:
+            with rank_activity(rs.rank, "field/advance_b"):
+                rs.solver.advance_b(0.5)
+
+        def full_e(rs: RankState) -> None:
+            with rank_activity(rs.rank, "field/advance_e"):
+                rs.solver.advance_e(1.0)
+
+        self._exchange_fields(_E_NAMES + _B_NAMES)
+        self._for_each_rank(half_b_and_clear)
         self._exchange_fields(_B_NAMES)
-        for rs in self.ranks:
-            for sp in rs.species:
-                if sp.n == 0:
-                    continue
-                with rank_activity(rs.rank, f"push/{sp.name}"):
-                    x, y, z = sp.positions()
-                    ux, uy, uz = sp.momenta()
-                    ex, ey, ez, bx, by, bz = gather_fields(
-                        rs.fields, x, y, z)
-                    boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
-                               sp.q, sp.m, self.dt)
-                    deposit_current(rs.fields, x, y, z, ux, uy, uz,
-                                    sp.live("w"), sp.q)
-                    advance_positions(x, y, z, ux, uy, uz, self.dt)
+        self._for_each_rank(self._rank_push)
         with rank_activity(None, "migrate", kind="comm"):
             self._migrate()
         self._reduce_currents()
-        for rs in self.ranks:
-            with rank_activity(rs.rank, "field/advance_b"):
-                rs.solver.advance_b(0.5)
+        self._for_each_rank(half_b)
         self._exchange_fields(_E_NAMES)
-        for rs in self.ranks:
-            with rank_activity(rs.rank, "field/advance_e"):
-                rs.solver.advance_e(1.0)
+        self._for_each_rank(full_e)
         self.step_count += 1
         if self.guard is not None:
             self.guard.check_step(self)

@@ -13,7 +13,19 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["boris_push", "advance_positions"]
+__all__ = ["boris_push", "advance_positions", "momentum_gamma"]
+
+
+def momentum_gamma(ux, uy, uz) -> np.ndarray:
+    """Lorentz factor ``sqrt(1 + u.u)`` in float32, with the exact
+    operation order the push kernels use.
+
+    Computed once after the Boris push and shared between current
+    deposition and the position advance (both previously recomputed
+    it per call).
+    """
+    f32 = np.float32
+    return np.sqrt(f32(1.0) + ux * ux + uy * uy + uz * uz)
 
 
 def boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
@@ -65,12 +77,18 @@ def boris_push(ux, uy, uz, ex, ey, ez, bx, by, bz,
     uz[...] = uplusz + qdt_2m * ez
 
 
-def advance_positions(x, y, z, ux, uy, uz, dt: float) -> None:
-    """Move particles: ``x += v dt`` with ``v = u / gamma`` (c = 1)."""
+def advance_positions(x, y, z, ux, uy, uz, dt: float,
+                      gamma: np.ndarray | None = None) -> None:
+    """Move particles: ``x += v dt`` with ``v = u / gamma`` (c = 1).
+
+    Pass *gamma* (from :func:`momentum_gamma`) to reuse the factor the
+    deposition already computed; the value is identical either way.
+    """
     if dt <= 0:
         raise ValueError(f"dt must be positive, got {dt}")
     f32 = np.float32
-    gamma = np.sqrt(f32(1.0) + ux * ux + uy * uy + uz * uz)
+    if gamma is None:
+        gamma = momentum_gamma(ux, uy, uz)
     inv = f32(dt) / gamma
     x += ux * inv
     y += uy * inv

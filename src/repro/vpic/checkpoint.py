@@ -199,6 +199,10 @@ def restore_state_into(sim: Simulation, path: str | Path) -> int:
         dst.n = src.n
         for attr in Species._ARRAYS:
             getattr(dst, attr)[:src.n] = getattr(src, attr)[:src.n]
+        # Checkpoints are saved through live(), which refreshes lazy
+        # voxels first — the restored indices are fresh even if the
+        # target species was mid-fused-step stale.
+        dst._voxels_stale = False
     sim.sort_step = restored.sort_step
     sim.step_count = restored.step_count
     sim._energy0 = restored._energy0

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.kokkos.atomics import atomic_add
+from repro.kokkos.atomics import atomic_add, segment_add
+from repro.vpic.boris import momentum_gamma
 from repro.vpic.fields import FieldArrays
 from repro.vpic.grid import Grid
 
@@ -44,19 +45,38 @@ def cic_weights(fx, fy, fz):
     ]
 
 
+def _corner_keys_and_values(grid, ix, iy, iz, weights, per_particle):
+    """Ravelled (8n,) corner voxel keys and weighted values."""
+    sx, sy, sz = grid.shape
+    keys = np.empty((8, ix.size), dtype=np.int64)
+    vals = np.empty((8, ix.size), dtype=np.float32)
+    for k, (di, dj, dk, wt) in enumerate(weights):
+        keys[k] = ((ix + di) * sy + (iy + dj)) * sz + (iz + dk)
+        vals[k] = wt * per_particle
+    return keys.reshape(-1), vals.reshape(-1)
+
+
 def deposit_current(fields: FieldArrays, x, y, z, ux, uy, uz, w,
-                    q: float) -> None:
+                    q: float, gamma: np.ndarray | None = None,
+                    binned: bool = False) -> None:
     """Scatter CIC-weighted current density ``q w v / dV`` onto J.
 
     Uses the velocity at the current momentum (``v = u/gamma``); the
     caller invokes this at the leapfrog half-step so the current is
-    time-centered for the E update.
+    time-centered for the E update. Pass *gamma* (the factor
+    :func:`~repro.vpic.boris.momentum_gamma` computes after the push)
+    to avoid recomputing it per scatter. With ``binned=True`` the 24
+    per-corner atomic scatters become three ravel-key
+    :func:`~repro.kokkos.atomics.segment_add` reductions accumulating
+    in float64 (agrees with the atomic path to float32 rounding of
+    the accumulation order).
     """
     g = fields.grid
     ix, iy, iz = g.cell_of_position(x, y, z)
     fx, fy, fz = g.cell_fraction(x, y, z)
     f32 = np.float32
-    gamma = np.sqrt(f32(1.0) + ux * ux + uy * uy + uz * uz)
+    if gamma is None:
+        gamma = momentum_gamma(ux, uy, uz)
     inv_vol = f32(q / g.cell_volume)
     jx_p = w * ux / gamma * inv_vol
     jy_p = w * uy / gamma * inv_vol
@@ -66,7 +86,14 @@ def deposit_current(fields: FieldArrays, x, y, z, ux, uy, uz, w,
     jx = fields.jx.data.reshape(-1)
     jy = fields.jy.data.reshape(-1)
     jz = fields.jz.data.reshape(-1)
-    for di, dj, dk, wt in cic_weights(fx, fy, fz):
+    weights = cic_weights(fx, fy, fz)
+    if binned:
+        for target, jp in ((jx, jx_p), (jy, jy_p), (jz, jz_p)):
+            keys, vals = _corner_keys_and_values(g, ix, iy, iz,
+                                                 weights, jp)
+            segment_add(target, keys, vals)
+        return
+    for di, dj, dk, wt in weights:
         vox = ((ix + di) * sy + (iy + dj)) * sz + (iz + dk)
         atomic_add(jx, vox, wt * jx_p)
         atomic_add(jy, vox, wt * jy_p)
@@ -74,11 +101,13 @@ def deposit_current(fields: FieldArrays, x, y, z, ux, uy, uz, w,
 
 
 def deposit_charge(grid: Grid, x, y, z, w, q: float,
-                   out: np.ndarray | None = None) -> np.ndarray:
+                   out: np.ndarray | None = None,
+                   binned: bool = False) -> np.ndarray:
     """Scatter CIC-weighted charge density onto a voxel array.
 
     Returns the flat (ghost-inclusive) density array; pass *out* to
-    accumulate several species into the same array.
+    accumulate several species into the same array. ``binned=True``
+    uses one ravel-key segment reduction instead of 8 atomic scatters.
     """
     if out is None:
         out = np.zeros(grid.n_voxels, dtype=np.float32)
@@ -89,7 +118,13 @@ def deposit_charge(grid: Grid, x, y, z, w, q: float,
     fx, fy, fz = grid.cell_fraction(x, y, z)
     rho_p = np.asarray(w, dtype=np.float32) * np.float32(q / grid.cell_volume)
     sx, sy, sz = grid.shape
-    for di, dj, dk, wt in cic_weights(fx, fy, fz):
+    weights = cic_weights(fx, fy, fz)
+    if binned:
+        keys, vals = _corner_keys_and_values(grid, ix, iy, iz,
+                                             weights, rho_p)
+        segment_add(out, keys, vals)
+        return out
+    for di, dj, dk, wt in weights:
         vox = ((ix + di) * sy + (iy + dj)) * sz + (iz + dk)
         atomic_add(out, vox, wt * rho_p)
     return out

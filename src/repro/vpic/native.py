@@ -1,0 +1,315 @@
+"""Optional compiled fast lane for the fused CIC push.
+
+The paper's §5.3 comparison point is hand-tuned native code; this
+module provides exactly that lane for the hot loop. At first use it
+compiles a single-pass C kernel (gather -> Boris -> deposit ->
+advance -> wrap, one trip through memory per particle) with the
+system C compiler and binds it through :mod:`ctypes`. The build is
+strict-IEEE (``-fno-fast-math -ffp-contract=off``) and the C code
+performs the *same float32 operations in the same order* as the
+reference numpy kernels, so positions and momenta are bit-identical
+to the reference path; current deposition accumulates in float64
+(particle-major instead of numpy's corner-major, so the folded
+float32 currents agree to 1 ulp).
+
+Everything degrades gracefully: no compiler, no writable cache
+directory, or a failed build simply mean :func:`native_push_kernel`
+returns ``None`` and the portable numpy fast path runs instead. The
+compiled object is cached on disk (keyed by a hash of source +
+flags), so later processes pay nothing.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import threading
+from pathlib import Path
+
+__all__ = ["native_push_kernel", "native_available", "native_status"]
+
+_SOURCE = r"""
+/* Fused CIC push: gather -> Boris -> deposit -> advance -> wrap.
+ * Float sequence matches the numpy reference kernels exactly (IEEE
+ * single ops in reference order; build with -fno-fast-math
+ * -ffp-contract=off so the compiler contracts nothing into FMAs).
+ */
+#include <stdint.h>
+#include <math.h>
+
+static inline float wrapf(float v, float L) {
+    /* np.mod (floored) for positive modulus */
+    float r = fmodf(v, L);
+    if (r != 0.0f && (r < 0.0f) != (L < 0.0f))
+        r += L;
+    return r;
+}
+
+void push_tile(
+    float *x, float *y, float *z,
+    float *ux, float *uy, float *uz,
+    const float *w, int64_t n,
+    const float *tab,            /* (nv, 6): ex ey ez bx by bz */
+    double *jxa, double *jya, double *jza,   /* (nv,) f64 accumulators */
+    int64_t sy, int64_t sz,
+    double hx, double hy, double hz,         /* index clip highs */
+    double x0, double y0, double z0,
+    double dx, double dy, double dz,
+    float fx0, float fy0, float fz0,         /* f32 origins */
+    float fdx, float fdy, float fdz,         /* f32 cell sizes */
+    float lx, float ly, float lz,            /* box lengths */
+    float qdt, float fdt, float inv_vol,
+    int do_wrap)
+{
+    const int64_t shift = (sy + 1) * sz + 1;
+    for (int64_t i = 0; i < n; i++) {
+        float xi = x[i], yi = y[i], zi = z[i];
+        /* cell indices: float64 chain, trunc, +1 folded into shift */
+        double px = ((double)xi - x0) / dx;
+        double py = ((double)yi - y0) / dy;
+        double pz = ((double)zi - z0) / dz;
+        px = px < 0.0 ? 0.0 : (px > hx ? hx : px);
+        py = py < 0.0 ? 0.0 : (py > hy ? hy : py);
+        pz = pz < 0.0 ? 0.0 : (pz > hz ? hz : pz);
+        int64_t base = (((int64_t)px * sy + (int64_t)py) * sz
+                        + (int64_t)pz) + shift;
+        /* fractions: float32 chain */
+        float tx_ = (xi - fx0) / fdx;
+        float ty_ = (yi - fy0) / fdy;
+        float tz_ = (zi - fz0) / fdz;
+        float fx = tx_ - floorf(tx_);
+        float fy = ty_ - floorf(ty_);
+        float fz = tz_ - floorf(tz_);
+        float gx = 1.0f - fx, gy = 1.0f - fy, gz = 1.0f - fz;
+        /* gather + factored trilinear from the interleaved table */
+        const float *t000 = tab + 6 * base;
+        const float *t001 = tab + 6 * (base + 1);
+        const float *t010 = tab + 6 * (base + sz);
+        const float *t011 = tab + 6 * (base + sz + 1);
+        const float *t100 = tab + 6 * (base + sy * sz);
+        const float *t101 = tab + 6 * (base + sy * sz + 1);
+        const float *t110 = tab + 6 * (base + sy * sz + sz);
+        const float *t111 = tab + 6 * (base + sy * sz + sz + 1);
+        float eb[6];
+        for (int c = 0; c < 6; c++) {
+            float c00 = t000[c] * gz + t001[c] * fz;
+            float c01 = t010[c] * gz + t011[c] * fz;
+            float c10 = t100[c] * gz + t101[c] * fz;
+            float c11 = t110[c] * gz + t111[c] * fz;
+            float c0 = c00 * gy + c01 * fy;
+            float c1 = c10 * gy + c11 * fy;
+            eb[c] = c0 * gx + c1 * fx;
+        }
+        float ex = eb[0], ey = eb[1], ez = eb[2];
+        float bx = eb[3], by = eb[4], bz = eb[5];
+        /* Boris push (reference op order) */
+        float umx = ux[i] + qdt * ex;
+        float umy = uy[i] + qdt * ey;
+        float umz = uz[i] + qdt * ez;
+        float gam = sqrtf(1.0f + umx * umx + umy * umy + umz * umz);
+        float tx = qdt * bx / gam;
+        float ty = qdt * by / gam;
+        float tz = qdt * bz / gam;
+        float t2 = tx * tx + ty * ty + tz * tz;
+        float sx = 2.0f * tx / (1.0f + t2);
+        float sy_ = 2.0f * ty / (1.0f + t2);
+        float sz_ = 2.0f * tz / (1.0f + t2);
+        float upx = umx + (umy * tz - umz * ty);
+        float upy = umy + (umz * tx - umx * tz);
+        float upz = umz + (umx * ty - umy * tx);
+        float plx = umx + (upy * sz_ - upz * sy_);
+        float ply = umy + (upz * sx - upx * sz_);
+        float plz = umz + (upx * sy_ - upy * sx);
+        float nux = plx + qdt * ex;
+        float nuy = ply + qdt * ey;
+        float nuz = plz + qdt * ez;
+        ux[i] = nux; uy[i] = nuy; uz[i] = nuz;
+        /* post-push gamma, computed once and shared by deposit+move */
+        float gam2 = sqrtf(1.0f + nux * nux + nuy * nuy + nuz * nuz);
+        /* deposit: CIC weights * time-centered current, f64 accumulate */
+        float wi = w[i];
+        float jpx = wi * nux / gam2 * inv_vol;
+        float jpy = wi * nuy / gam2 * inv_vol;
+        float jpz = wi * nuz / gam2 * inv_vol;
+        float wt[8];
+        wt[0] = gx * gy * gz; wt[1] = fx * gy * gz;
+        wt[2] = gx * fy * gz; wt[3] = fx * fy * gz;
+        wt[4] = gx * gy * fz; wt[5] = fx * gy * fz;
+        wt[6] = gx * fy * fz; wt[7] = fx * fy * fz;
+        int64_t vox[8];
+        vox[0] = base;                 vox[1] = base + sy * sz;
+        vox[2] = base + sz;            vox[3] = base + sy * sz + sz;
+        vox[4] = base + 1;             vox[5] = base + sy * sz + 1;
+        vox[6] = base + sz + 1;        vox[7] = base + sy * sz + sz + 1;
+        for (int k = 0; k < 8; k++) {
+            jxa[vox[k]] += (double)(wt[k] * jpx);
+            jya[vox[k]] += (double)(wt[k] * jpy);
+            jza[vox[k]] += (double)(wt[k] * jpz);
+        }
+        /* advance + (optional) periodic wrap */
+        float inv = fdt / gam2;
+        xi += nux * inv;
+        yi += nuy * inv;
+        zi += nuz * inv;
+        if (do_wrap) {
+            /* fmodf only for escaped particles: for 0 <= r < L the
+             * reference's mod is the identity, so skipping it is
+             * bit-exact (callers guarantee a zero origin). */
+            float rx = xi - fx0, ry = yi - fy0, rz = zi - fz0;
+            if (rx < 0.0f || rx >= lx) xi = wrapf(rx, lx) + fx0;
+            if (ry < 0.0f || ry >= ly) yi = wrapf(ry, ly) + fy0;
+            if (rz < 0.0f || rz >= lz) zi = wrapf(rz, lz) + fz0;
+        }
+        x[i] = xi; y[i] = yi; z[i] = zi;
+    }
+}
+"""
+
+#: Strict-IEEE build: no fast-math value changes, no FMA contraction
+#: (an FMA would skip the intermediate rounding the numpy reference
+#: performs and break bit-identity).
+_CFLAGS = ("-O3", "-fno-fast-math", "-ffp-contract=off",
+           "-fPIC", "-shared")
+
+_lock = threading.Lock()
+_kernel: "_NativePush | None" = None
+_status = "not initialized"
+_initialized = False
+
+
+def _find_compiler() -> str | None:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _cache_dir() -> Path | None:
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env)
+    # <repo>/build/_native when running from a source checkout;
+    # site-packages installs land next to the package instead.
+    root = Path(__file__).resolve().parents[3]
+    return root / "build" / "_native"
+
+
+class _NativePush:
+    """ctypes binding of the compiled ``push_tile`` kernel."""
+
+    def __init__(self, lib_path: Path):
+        lib = ctypes.CDLL(str(lib_path))
+        f, d, i64 = ctypes.c_float, ctypes.c_double, ctypes.c_int64
+        pf = ctypes.POINTER(ctypes.c_float)
+        pd = ctypes.POINTER(ctypes.c_double)
+        lib.push_tile.argtypes = ([pf] * 7 + [i64, pf, pd, pd, pd,
+                                  i64, i64] + [d] * 9 + [f] * 12
+                                  + [ctypes.c_int])
+        lib.push_tile.restype = None
+        self._fn = lib.push_tile
+        self.path = lib_path
+
+    def push(self, x, y, z, ux, uy, uz, w, table, acc_x, acc_y, acc_z,
+             grid, qdt_2m, inv_vol, wrap: bool) -> None:
+        """Run the fused push over all *n* particles in place.
+
+        ``table`` is the (n_voxels, 6) interleaved field table;
+        ``acc_*`` are float64 per-voxel current accumulators the
+        caller folds into J afterwards.
+        """
+        import numpy as np
+        g = grid
+        eps = 1e-9
+        _, sy, sz = g.shape
+        pf = ctypes.POINTER(ctypes.c_float)
+        pd = ctypes.POINTER(ctypes.c_double)
+
+        def fp(a):
+            return a.ctypes.data_as(pf)
+
+        self._fn(
+            fp(x), fp(y), fp(z), fp(ux), fp(uy), fp(uz), fp(w),
+            ctypes.c_int64(x.size), fp(table),
+            acc_x.ctypes.data_as(pd), acc_y.ctypes.data_as(pd),
+            acc_z.ctypes.data_as(pd),
+            ctypes.c_int64(sy), ctypes.c_int64(sz),
+            ctypes.c_double(g.nx - eps), ctypes.c_double(g.ny - eps),
+            ctypes.c_double(g.nz - eps),
+            ctypes.c_double(g.x0), ctypes.c_double(g.y0),
+            ctypes.c_double(g.z0),
+            ctypes.c_double(g.dx), ctypes.c_double(g.dy),
+            ctypes.c_double(g.dz),
+            ctypes.c_float(g.x0), ctypes.c_float(g.y0),
+            ctypes.c_float(g.z0),
+            ctypes.c_float(g.dx), ctypes.c_float(g.dy),
+            ctypes.c_float(g.dz),
+            ctypes.c_float(g.lengths[0]), ctypes.c_float(g.lengths[1]),
+            ctypes.c_float(g.lengths[2]),
+            ctypes.c_float(np.float32(qdt_2m)),
+            ctypes.c_float(np.float32(g.dt)),
+            ctypes.c_float(np.float32(inv_vol)),
+            ctypes.c_int(1 if wrap else 0),
+        )
+
+
+def _build() -> "tuple[_NativePush | None, str]":
+    cc = _find_compiler()
+    if cc is None:
+        return None, "no C compiler on PATH (set CC to override)"
+    cache = _cache_dir()
+    if cache is None:
+        return None, "no writable cache directory"
+    tag = hashlib.sha256(
+        (_SOURCE + " ".join(_CFLAGS) + cc).encode()).hexdigest()[:16]
+    lib_path = cache / f"push_{tag}.so"
+    if not lib_path.exists():
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+            src = cache / f"push_{tag}.c"
+            src.write_text(_SOURCE)
+            tmp = cache / f"push_{tag}.so.tmp"
+            proc = subprocess.run(
+                [cc, *_CFLAGS, str(src), "-o", str(tmp), "-lm"],
+                capture_output=True, text=True, timeout=120)
+            if proc.returncode != 0:
+                return None, f"compile failed: {proc.stderr.strip()[:400]}"
+            os.replace(tmp, lib_path)
+        except OSError as exc:
+            return None, f"build error: {exc}"
+        except subprocess.TimeoutExpired:
+            return None, "compile timed out"
+    try:
+        return _NativePush(lib_path), f"compiled with {cc} -> {lib_path}"
+    except OSError as exc:
+        return None, f"dlopen failed: {exc}"
+
+
+def native_push_kernel() -> "_NativePush | None":
+    """The compiled push kernel, building it on first call.
+
+    Returns ``None`` (and remembers why — see :func:`native_status`)
+    whenever compilation is impossible; callers fall back to the
+    portable numpy fast path.
+    """
+    global _kernel, _status, _initialized
+    if _initialized:
+        return _kernel
+    with _lock:
+        if not _initialized:
+            _kernel, _status = _build()
+            _initialized = True
+    return _kernel
+
+
+def native_available() -> bool:
+    return native_push_kernel() is not None
+
+
+def native_status() -> str:
+    """Human-readable availability: where the kernel came from, or
+    why the native lane is disabled."""
+    native_push_kernel()
+    return _status

@@ -23,17 +23,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.tuning import StepPlan
 from repro.kokkos.profiling import profiling_region, record_kernel
 from repro.observability.metrics import default_registry, detail_enabled
 from repro.vpic.boundary import BoundaryKind, apply_particle_boundaries
-from repro.vpic.boris import advance_positions, boris_push
+from repro.vpic.boris import advance_positions, boris_push, momentum_gamma
 from repro.vpic.deck import Deck, DepositionKind, FieldBoundaryKind
 from repro.vpic.deposit import deposit_current
 from repro.vpic.esirkepov import deposit_current_esirkepov
+from repro.vpic.fastpath import fused_push_species
 from repro.vpic.fields import FieldArrays, FieldSolver
 from repro.vpic.grid import Grid
 from repro.vpic.interpolate import gather_fields
 from repro.vpic.particles import load_maxwellian, load_uniform
+from repro.vpic.scratch import ScratchArena
 from repro.vpic.sort_step import SortStep
 from repro.vpic.species import Species
 
@@ -51,6 +54,11 @@ class Simulation:
     field_boundary: FieldBoundaryKind = FieldBoundaryKind.PERIODIC
     deposition: DepositionKind = DepositionKind.CIC
     sort_step: SortStep = field(default_factory=SortStep)
+    #: Which kernels the step takes (see repro.core.tuning.StepPlan):
+    #: the fast path by default; ``StepPlan.reference_plan()`` selects
+    #: the original kernel-by-kernel sequence the equivalence tests
+    #: compare against.
+    step_plan: StepPlan = field(default_factory=StepPlan)
     step_count: int = 0
     #: Optional runtime invariant guard (see :mod:`repro.validate`);
     #: when set, :meth:`step` brackets every timestep with its
@@ -96,6 +104,10 @@ class Simulation:
     def __post_init__(self) -> None:
         self._solver = self._make_solver()
         self._energy0: float | None = None
+        # Scratch for the fused push and the sort permutation: named
+        # preallocated buffers, so the steady-state step makes zero
+        # heap allocations in the particle phase.
+        self._arena = ScratchArena()
 
     def _make_solver(self) -> FieldSolver:
         if self.field_boundary is FieldBoundaryKind.ABSORBING_X:
@@ -121,10 +133,19 @@ class Simulation:
     # -- the step ----------------------------------------------------------------
 
     def push_species(self, sp: Species) -> None:
-        """The particle push kernel: gather -> Boris -> deposit -> move."""
+        """The particle push kernel: gather -> Boris -> deposit -> move.
+
+        This is the kernel-by-kernel path: always used by the
+        reference plan, and by decks the fused path does not cover
+        (Esirkepov deposition, reflecting boundaries). A non-reference
+        plan still shares the post-push gamma between deposition and
+        the position advance and may bin-reduce the deposition.
+        """
         if sp.n == 0:
             return
         g = self.grid
+        plan = self.step_plan
+        binned = plan.bin_deposit and not plan.reference
         x, y, z = sp.positions()
         ux, uy, uz = sp.momenta()
         with record_kernel(f"push/{sp.name}"):
@@ -141,14 +162,51 @@ class Simulation:
                 advance_positions(x, y, z, ux, uy, uz, g.dt)
                 deposit_current_esirkepov(
                     self.fields, x0, y0, z0, x, y, z,
-                    sp.live("w"), sp.q, g.dt)
-            else:
+                    sp.live("w"), sp.q, g.dt, binned=binned)
+            elif plan.reference:
                 # Deposit at the post-push momentum: v is
                 # time-centered between the old and new positions in
                 # leapfrog sense.
                 deposit_current(self.fields, x, y, z, ux, uy, uz,
                                 sp.live("w"), sp.q)
                 advance_positions(x, y, z, ux, uy, uz, g.dt)
+            else:
+                gamma = momentum_gamma(ux, uy, uz)
+                deposit_current(self.fields, x, y, z, ux, uy, uz,
+                                sp.live("w"), sp.q, gamma=gamma,
+                                binned=binned)
+                advance_positions(x, y, z, ux, uy, uz, g.dt,
+                                  gamma=gamma)
+
+    def push_step(self) -> int:
+        """Fused particle phase: gather -> Boris -> deposit -> move ->
+        wrap for every species, through the StepPlan fast path.
+
+        Returns the number of particles pushed. The periodic boundary
+        is folded into the fused kernel, so no separate boundary pass
+        runs; voxel indices refresh lazily on first use.
+        """
+        pushed = 0
+        for sp in self.species:
+            pushed += sp.n
+            if sp.n == 0:
+                continue
+            with record_kernel(f"push/{sp.name}"):
+                fused_push_species(self.fields, sp, self._arena,
+                                   self.step_plan)
+        return pushed
+
+    def _fast_step_ok(self) -> bool:
+        g = self.grid
+        plan = self.step_plan
+        # Zero origin: the fused lane wraps only escaped particles,
+        # which matches the reference all-particle
+        # subtract/mod/re-add round-trip bitwise only when the
+        # subtracted origin is exactly zero.
+        return (not plan.reference and plan.fused
+                and self.deposition is DepositionKind.CIC
+                and self.boundary is BoundaryKind.PERIODIC
+                and g.x0 == 0.0 and g.y0 == 0.0 and g.z0 == 0.0)
 
     def step(self) -> None:
         """Advance the whole system by one timestep.
@@ -166,12 +224,15 @@ class Simulation:
         with profiling_region("step"):
             self._solver.advance_b(0.5)
             self.fields.clear_currents()
-            for sp in self.species:
-                pushed += sp.n
-                self.push_species(sp)
-            for sp in self.species:
-                with record_kernel(f"boundary/{sp.name}"):
-                    apply_particle_boundaries(sp, self.boundary)
+            if self._fast_step_ok():
+                pushed = self.push_step()
+            else:
+                for sp in self.species:
+                    pushed += sp.n
+                    self.push_species(sp)
+                for sp in self.species:
+                    with record_kernel(f"boundary/{sp.name}"):
+                        apply_particle_boundaries(sp, self.boundary)
             with record_kernel("field_solve"):
                 self._solver.reduce_ghost_currents()
                 self._solver.advance_b(0.5)
@@ -180,7 +241,7 @@ class Simulation:
             if self.sort_step.due(self.step_count):
                 for sp in self.species:
                     with record_kernel(f"sort/{sp.name}"):
-                        self.sort_step.apply(sp)
+                        self.sort_step.apply(sp, scratch=self._arena)
         reg = default_registry()
         reg.counter("sim/steps").inc()
         reg.counter("sim/particles_pushed").inc(pushed)

@@ -67,8 +67,14 @@ class SortStep:
                               kind="stable")
         raise ValueError(f"no permutation for sort kind {self.kind}")
 
-    def apply(self, species: Species) -> np.ndarray | None:
-        """Reorder a species in place; returns the permutation."""
+    def apply(self, species: Species,
+              scratch=None) -> np.ndarray | None:
+        """Reorder a species in place; returns the permutation.
+
+        Pass a :class:`~repro.vpic.scratch.ScratchArena` to stage the
+        permuted arrays in reused buffers instead of fresh
+        allocations (the fast step path does).
+        """
         if self.kind is SortKind.NONE or species.n == 0:
             return None
         reg = default_registry()
@@ -79,7 +85,13 @@ class SortStep:
         perm = self.permutation_for(species.live("voxel"))
         for name in Species._ARRAYS:
             arr = species.live(name)
-            arr[...] = arr[perm]
+            if scratch is None:
+                arr[...] = arr[perm]
+            else:
+                buf = scratch.buf(f"sort/{arr.dtype}", arr.shape,
+                                  arr.dtype)
+                np.take(arr, perm, out=buf)
+                arr[...] = buf
         self.sorts_performed += 1
         reg.counter("sort/applied").inc()
         if detail:

@@ -50,6 +50,10 @@ class Species:
         # Tracer tag: -1 = untraced, k >= 0 identifies tracer k. A
         # first-class column so sorting/migration preserve identity.
         self.tag = np.full(cap, -1, dtype=np.int64)
+        # Lazy voxel bookkeeping: the fused push moves particles
+        # without recomputing voxels; consumers going through
+        # :meth:`live` trigger the refresh on first use.
+        self._voxels_stale = False
 
     _ARRAYS = ("x", "y", "z", "ux", "uy", "uz", "w", "voxel", "tag")
 
@@ -97,7 +101,14 @@ class Species:
     # -- views over live particles -------------------------------------------------
 
     def live(self, name: str) -> np.ndarray:
-        """The live slice of one attribute array."""
+        """The live slice of one attribute array.
+
+        Voxels refresh lazily: after a fused push the indices are
+        stale until someone (sorting, diagnostics, checkpointing)
+        actually reads them here.
+        """
+        if name == "voxel" and self._voxels_stale:
+            self.update_voxels()
         return getattr(self, name)[:self.n]
 
     def positions(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -112,8 +123,13 @@ class Species:
         """Recompute voxel indices from positions."""
         if sl is None:
             sl = slice(0, self.n)
+            self._voxels_stale = False
         self.voxel[sl] = self.grid.voxel_of_position(
             self.x[sl], self.y[sl], self.z[sl])
+
+    def mark_voxels_stale(self) -> None:
+        """Positions moved without a voxel refresh (fused push)."""
+        self._voxels_stale = True
 
     def gamma(self) -> np.ndarray:
         """Relativistic Lorentz factor per particle."""

@@ -21,6 +21,7 @@ import pytest
 
 BASELINE = Path(__file__).resolve().parent.parent / "BENCH_2.json"
 PROFILE_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_3.json"
+STEP_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_5.json"
 
 
 @pytest.mark.perf
@@ -69,3 +70,32 @@ def test_profile_overhead_under_fifteen_percent():
             f"recorded baseline {record['overhead_fraction']:.1%} "
             f"(re-baseline with scripts/bench_report.py only if "
             f"intended)")
+
+
+@pytest.mark.perf
+def test_step_fast_path_throughput_not_regressed():
+    """The fast step path must stay within 0.8x of the recorded
+    particles-per-second baseline (BENCH_5.json, written by
+    scripts/bench_step.py) on the uniform deck — a tripwire for
+    accidentally de-fusing the hot loop. Best of three, plain
+    unguarded run, so scheduler noise doesn't flake the bound."""
+    if not STEP_BASELINE.exists():
+        pytest.skip("no BENCH_5.json baseline recorded "
+                    "(run scripts/bench_step.py)")
+    record = json.loads(STEP_BASELINE.read_text())
+    deck_rec = record["decks"]["uniform"]
+    floor = 0.8 * float(deck_rec["fast_particles_per_second"])
+
+    from repro.bench.push_bench import measure_step_throughput
+    from repro.vpic.workloads import uniform_plasma_deck
+
+    best = max(
+        measure_step_throughput(uniform_plasma_deck(seed=0),
+                                steps=15, warm=3)["particles_per_second"]
+        for _ in range(3))
+    assert best >= floor, (
+        f"fast-path step throughput {best:.3g} particles/s is below "
+        f"0.8x the recorded baseline "
+        f"{deck_rec['fast_particles_per_second']:.3g} — the hot loop "
+        f"has regressed (re-baseline with scripts/bench_step.py only "
+        f"if the slowdown is intended)")
