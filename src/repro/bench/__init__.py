@@ -16,6 +16,10 @@ assertions and wall-clock timing of the real kernels:
   strong scaling.
 - :mod:`repro.bench.reporting` — table formatting shared by the
   benches and the EXPERIMENTS.md generator.
+- :mod:`repro.bench.history` — folds every committed ``BENCH_*.json``
+  baseline into one trajectory (``repro bench history``) and the
+  merged per-deck kernel baseline the dashboard's regression table
+  reads.
 """
 
 from repro.bench.rajaperf import (
@@ -45,6 +49,14 @@ from repro.bench.scaling_bench import (
 from repro.bench.reporting import format_table, format_series
 from repro.bench.plots import bar_chart, roofline_plot, xy_plot
 from repro.bench.runner import full_report
+from repro.bench.history import (
+    BenchRecord,
+    load_history,
+    history_rows,
+    kernel_trajectory,
+    merged_kernel_baseline,
+    format_history,
+)
 
 __all__ = [
     "RAJAPERF_KERNELS", "axpy_kernel", "planckian_kernel",
@@ -56,4 +68,6 @@ __all__ = [
     "fig9_series", "fig10_series",
     "format_table", "format_series",
     "bar_chart", "roofline_plot", "xy_plot", "full_report",
+    "BenchRecord", "load_history", "history_rows",
+    "kernel_trajectory", "merged_kernel_baseline", "format_history",
 ]

@@ -1,0 +1,284 @@
+"""Bench-history tracking: the ``BENCH_*.json`` trajectory.
+
+Every PR that lands a performance-relevant change commits a
+``BENCH_<n>.json`` baseline at the repo root (``scripts/bench_*.py``
+writers). Each file has its own schema — ``full_report`` timings
+(BENCH_2), ``profile_overhead`` kernel seconds (BENCH_3),
+``step_throughput`` per-deck fast-path numbers (BENCH_5),
+``recorder_overhead`` (BENCH_6), and whatever future sessions add.
+This module reads them *all* and folds them into two shared views:
+
+- :func:`history_rows` — one headline row per baseline (what ``repro
+  bench history`` prints): benchmark kind, when, at which commit, and
+  the one number that bench exists to track.
+- :func:`merged_kernel_baseline` — a per-deck kernel-time baseline in
+  the exact shape :func:`repro.observability.dashboard.baseline_deltas`
+  consumes (``{"steps": 1, "kernel_seconds": {...}}``), merged across
+  every baseline that carries kernel timings. Same-methodology
+  sources win: ``profile_overhead`` numbers (measured under the same
+  profiler stack the dashboard runs) take precedence, newest first,
+  and ``step_throughput`` fast-path numbers fill in kernels the
+  profile benches never saw (``sort/*``, ``field_solve``). The
+  ``kernel_sources`` side table records which file each kernel's
+  number came from, so a delta row is always attributable.
+
+Nothing here runs a simulation; it is pure JSON folding, cheap enough
+for the dashboard to call on every render.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "BenchRecord",
+    "load_history",
+    "history_rows",
+    "kernel_trajectory",
+    "merged_kernel_baseline",
+    "format_history",
+    "DECK_ALIASES",
+]
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: ``scripts/bench_step.py`` keys its per-deck results by CLI deck key;
+#: everything else (decks, the dashboard) uses the deck's own name.
+DECK_ALIASES = {
+    "uniform": "uniform_plasma",
+    "two-stream": "two_stream",
+    "weibel": "weibel",
+    "laser-plasma": "laser_plasma",
+    "harris": "harris_sheet",
+}
+
+
+def _repo_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.abspath(os.path.join(here, "..", "..", ".."))
+    return root if os.path.isdir(os.path.join(root, "src")) else os.getcwd()
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One committed ``BENCH_<n>.json`` baseline."""
+
+    index: int
+    path: str
+    data: dict
+
+    @property
+    def name(self) -> str:
+        return os.path.basename(self.path)
+
+    @property
+    def benchmark(self) -> str:
+        return str(self.data.get("benchmark", "unknown"))
+
+    @property
+    def recorded_at(self) -> str:
+        return str(self.data.get("recorded_at", ""))
+
+    @property
+    def git_head(self) -> str:
+        return str(self.data.get("git_head", ""))
+
+
+def load_history(root: str | None = None) -> list[BenchRecord]:
+    """Every parseable ``BENCH_*.json`` at the repo root, by index."""
+    if root is None:
+        root = _repo_root()
+    records: list[BenchRecord] = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return records
+    for name in names:
+        m = _BENCH_RE.match(name)
+        if not m:
+            continue
+        path = os.path.join(root, name)
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, ValueError):
+            continue
+        if isinstance(data, dict):
+            records.append(BenchRecord(int(m.group(1)), path, data))
+    records.sort(key=lambda r: r.index)
+    return records
+
+
+# -- headline view ------------------------------------------------------------
+
+
+def _headline(rec: BenchRecord) -> str:
+    """The one number each benchmark kind exists to track."""
+    d = rec.data
+    kind = rec.benchmark
+    if kind == "full_report":
+        return (f"full report {d.get('full_report_seconds', 0):.2f} s "
+                f"(warm {d.get('full_report_warm_seconds', 0):.2f} s)")
+    if kind == "profile_overhead":
+        return (f"profiler overhead "
+                f"{d.get('overhead_fraction', 0) * 100:.1f}% on "
+                f"{d.get('deck', '?')} x{d.get('n_ranks', '?')} ranks")
+    if kind == "step_throughput":
+        decks = d.get("decks", {})
+        if decks:
+            speedups = [v.get("speedup", 0) for v in decks.values()
+                        if isinstance(v, dict)]
+            best = max(speedups) if speedups else 0.0
+            return (f"fast path {best:.1f}x best speedup over "
+                    f"{len(decks)} decks")
+        return "step throughput"
+    if kind == "recorder_overhead":
+        worst = d.get("worst_overhead_fraction")
+        if worst is None:
+            decks = d.get("decks", {})
+            fracs = [v.get("overhead_fraction", 0) for v in decks.values()
+                     if isinstance(v, dict)]
+            worst = max(fracs) if fracs else 0.0
+        return (f"recorder overhead {worst * 100:.1f}% worst case "
+                f"(stride {d.get('stride', 1)})")
+    return kind
+
+
+def history_rows(records: list[BenchRecord] | None = None,
+                 root: str | None = None) -> list[dict]:
+    """One summary row per baseline, oldest first."""
+    if records is None:
+        records = load_history(root)
+    return [{
+        "file": rec.name,
+        "benchmark": rec.benchmark,
+        "recorded_at": rec.recorded_at,
+        "git_head": rec.git_head,
+        "headline": _headline(rec),
+    } for rec in records]
+
+
+def format_history(records: list[BenchRecord] | None = None,
+                   root: str | None = None) -> str:
+    """The ``repro bench history`` table."""
+    rows = history_rows(records, root)
+    if not rows:
+        return "no BENCH_*.json baselines found"
+    widths = {
+        "file": max(len(r["file"]) for r in rows),
+        "benchmark": max(len(r["benchmark"]) for r in rows),
+        "git_head": max(len(r["git_head"]) or 1 for r in rows),
+    }
+    lines = []
+    for r in rows:
+        lines.append(
+            f"{r['file']:<{widths['file']}}  "
+            f"{r['benchmark']:<{widths['benchmark']}}  "
+            f"{(r['git_head'] or '-'):<{widths['git_head']}}  "
+            f"{r['recorded_at']:<19}  {r['headline']}")
+    return "\n".join(lines)
+
+
+# -- kernel trajectory --------------------------------------------------------
+
+
+def _record_kernels(rec: BenchRecord, deck_name: str) -> dict[str, float]:
+    """Per-step kernel seconds this record carries for *deck_name*.
+
+    Kernel names are normalized to the unqualified
+    ``profile_overhead`` convention (``push/electron``,
+    ``field_solve``): ``step_throughput`` numbers arrive per-step in
+    ms under ``step/``-qualified keys and are stripped and rescaled.
+    """
+    d = rec.data
+    if rec.benchmark == "profile_overhead":
+        if d.get("deck") != deck_name:
+            return {}
+        steps = max(1, int(d.get("steps", 1)))
+        return {name: sec / steps
+                for name, sec in d.get("kernel_seconds", {}).items()
+                if isinstance(sec, (int, float))}
+    if rec.benchmark == "step_throughput":
+        for key, per_deck in d.get("decks", {}).items():
+            if DECK_ALIASES.get(key, key) != deck_name:
+                continue
+            if not isinstance(per_deck, dict):
+                continue
+            out = {}
+            for name, ms in per_deck.get(
+                    "fast_kernel_ms_per_step", {}).items():
+                if not isinstance(ms, (int, float)):
+                    continue
+                if name.startswith("step/"):
+                    name = name[len("step/"):]
+                out[name] = ms / 1e3
+            return out
+    return {}
+
+
+def kernel_trajectory(deck_name: str,
+                      records: list[BenchRecord] | None = None,
+                      root: str | None = None) -> dict[str, list[dict]]:
+    """Every kernel's per-step seconds across the whole history.
+
+    Returns ``{kernel: [{"file", "benchmark", "seconds_per_step"},
+    ...]}`` oldest baseline first — the raw series behind the
+    dashboard's trajectory table.
+    """
+    if records is None:
+        records = load_history(root)
+    series: dict[str, list[dict]] = {}
+    for rec in records:
+        for name, sec in sorted(_record_kernels(rec, deck_name).items()):
+            series.setdefault(name, []).append({
+                "file": rec.name,
+                "benchmark": rec.benchmark,
+                "seconds_per_step": sec,
+            })
+    return series
+
+
+def merged_kernel_baseline(deck_name: str,
+                           records: list[BenchRecord] | None = None,
+                           root: str | None = None) -> dict | None:
+    """The cross-bench kernel baseline for *deck_name*, or ``None``.
+
+    Shape-compatible with what
+    :func:`repro.observability.dashboard.baseline_deltas` expects of a
+    loaded ``BENCH_3.json`` (``steps`` + total ``kernel_seconds``;
+    here already normalized so ``steps`` is 1), plus a
+    ``kernel_sources`` table naming the file behind each number.
+    ``profile_overhead`` baselines win over ``step_throughput`` ones
+    (same measurement methodology as the dashboard's own run); within
+    a kind, newest wins.
+    """
+    if records is None:
+        records = load_history(root)
+    kernel_seconds: dict[str, float] = {}
+    kernel_sources: dict[str, str] = {}
+    merged_from: list[str] = []
+    by_priority = sorted(
+        records,
+        key=lambda r: (r.benchmark != "profile_overhead", -r.index))
+    for rec in by_priority:
+        kernels = _record_kernels(rec, deck_name)
+        if not kernels:
+            continue
+        merged_from.append(rec.name)
+        for name, sec in kernels.items():
+            if name not in kernel_seconds:
+                kernel_seconds[name] = sec
+                kernel_sources[name] = rec.name
+    if not kernel_seconds:
+        return None
+    return {
+        "benchmark": "merged_history",
+        "steps": 1,
+        "deck": deck_name,
+        "kernel_seconds": kernel_seconds,
+        "kernel_sources": kernel_sources,
+        "merged_from": merged_from,
+    }

@@ -18,9 +18,16 @@ workflows without writing Python:
 - ``validate``     run a deck under the physics guard and print the
                    guard report
 - ``report``       regenerate the full evaluation report
+- ``watch``        follow a recorded run's flight log live (progress,
+                   step rate, ETA, energy drift, guard status)
+- ``bench``        inspect the committed BENCH_*.json baseline
+                   trajectory (``bench history``)
 
 ``run-deck`` also accepts ``--guard[=warn|raise|repair]`` to screen
-the run with the invariant guard (see :mod:`repro.validate`).
+the run with the invariant guard (see :mod:`repro.validate`) and
+``--record[=STRIDE]`` to stream the run into an on-disk flight log
+(see :mod:`repro.observability.flight`) that ``repro watch`` — or a
+plain ``tail -f`` — can follow while the run is still going.
 """
 
 from __future__ import annotations
@@ -75,6 +82,24 @@ def cmd_run_deck(args) -> int:
         guard = SimulationGuard(policy=args.guard)
         guard.attach(sim)
         print(f"guard: policy={args.guard}")
+    recorder = None
+    publisher = None
+    if getattr(args, "record", None) is not None:
+        from repro.observability.flight import FlightRecorder
+        run_dir = getattr(args, "record_dir", None) or \
+            f"{deck.name}-flight"
+        serve = getattr(args, "serve", None)
+        if serve is not None:
+            from repro.observability.live import TelemetryPublisher
+            publisher = TelemetryPublisher(mode=serve)
+            print(f"telemetry: {publisher.endpoint}")
+        recorder = FlightRecorder(run_dir, stride=args.record,
+                                  publisher=publisher,
+                                  meta={"deck": deck.name,
+                                        "seed": args.seed})
+        recorder.attach(sim)
+        print(f"flight log: {run_dir} (stride {args.record}) — "
+              f"follow with: repro watch {run_dir}")
     reset_kernel_timings()
     tracer = None
     counter_tool = None
@@ -100,6 +125,8 @@ def cmd_run_deck(args) -> int:
                 raise
             print(f"guard violation: {exc}")
             print(guard.report.format())
+            if recorder is not None:
+                print(f"crash dump -> {recorder.crash_path}")
             return 1
     finally:
         if tracer is not None:
@@ -109,9 +136,20 @@ def cmd_run_deck(args) -> int:
         set_detail(False)
         if guard is not None:
             guard.close()
+        if recorder is not None:
+            recorder.close()
+        if publisher is not None:
+            publisher.close()
     print(energy_report(diag))
     if guard is not None:
         print(guard.report.format())
+    if recorder is not None:
+        s = recorder.recorder.summary()
+        print(f"flight log: {s['samples']} samples "
+              f"({s['dropped']} dropped from memory), "
+              f"{recorder.log.lines_written} lines / "
+              f"{recorder.log.bytes_written} bytes on disk, "
+              f"recorder overhead {s['overhead_seconds'] * 1e3:.1f} ms")
     if args.timings:
         for label, timer in sorted(kernel_timings().items()):
             print(f"  {label:32s} {timer.seconds * 1e3:9.2f} ms "
@@ -363,6 +401,25 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_watch(args) -> int:
+    from repro.observability.watch import watch_run
+    return watch_run(args.run_dir, interval=args.interval,
+                     once=args.once, timeout=args.timeout)
+
+
+def cmd_bench(args) -> int:
+    import json as _json
+
+    from repro.bench.history import format_history, history_rows
+    if args.action == "history":
+        if args.json:
+            print(_json.dumps(history_rows(), indent=1))
+        else:
+            print(format_history())
+        return 0
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -388,6 +445,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reference-step", action="store_true",
                    help="force the reference kernel-by-kernel step "
                         "path instead of the fused fast path")
+    p.add_argument("--record", nargs="?", const=1, default=None,
+                   type=int, metavar="STRIDE",
+                   help="stream the run into an on-disk flight log "
+                        "sampling every STRIDE-th step (bare "
+                        "--record means every step)")
+    p.add_argument("--record-dir", metavar="DIR", default=None,
+                   help="flight-log directory "
+                        "(default <deck>-flight)")
+    p.add_argument("--serve", nargs="?", const="jsonl", default=None,
+                   choices=("jsonl", "sse"), metavar="MODE",
+                   help="also publish the flight log on a localhost "
+                        "socket (jsonl|sse; bare --serve means jsonl)")
     p.set_defaults(fn=cmd_run_deck)
 
     p = sub.add_parser("profile",
@@ -444,6 +513,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--steps", type=int, default=10)
     p.set_defaults(fn=cmd_checkpoint)
+
+    p = sub.add_parser("watch",
+                       help="follow a recorded run's flight log live")
+    p.add_argument("run_dir",
+                   help="flight-log directory written by "
+                        "run-deck --record")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="screen refresh period in seconds "
+                        "(default 0.5)")
+    p.add_argument("--once", action="store_true",
+                   help="render the current state once and exit "
+                        "(no live following)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="stop following after this many seconds "
+                        "even if the run has not ended")
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser("bench",
+                       help="inspect committed benchmark baselines")
+    p.add_argument("action", choices=("history",),
+                   help="'history': one headline row per committed "
+                        "BENCH_*.json, oldest first")
+    p.add_argument("--json", action="store_true",
+                   help="emit the rows as JSON instead of a table")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("validate",
                        help="run a deck under the physics guard")

@@ -15,6 +15,7 @@ E/B ghost refresh.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -111,6 +112,10 @@ class DistributedSimulation:
         #: exchange/reduce barriers, so results are bit-identical to
         #: serial stepping).
         self.plan = plan if plan is not None else StepPlan()
+        #: Optional live-telemetry recorder (same protocol as on
+        #: :class:`~repro.vpic.simulation.Simulation`): sampled after
+        #: every collective step with per-rank particle aggregates.
+        self.recorder = None
         self._pool: ThreadPoolExecutor | None = None
 
     def close(self) -> None:
@@ -248,6 +253,7 @@ class DistributedSimulation:
             with rank_activity(rs.rank, "field/advance_e"):
                 rs.solver.advance_e(1.0)
 
+        t0 = time.perf_counter()
         self._exchange_fields(_E_NAMES + _B_NAMES)
         self._for_each_rank(half_b_and_clear)
         self._exchange_fields(_B_NAMES)
@@ -259,9 +265,18 @@ class DistributedSimulation:
         self._exchange_fields(_E_NAMES)
         self._for_each_rank(full_e)
         self.step_count += 1
+        if self.recorder is not None:
+            self.recorder.on_step(self, time.perf_counter() - t0)
         if self.guard is not None:
             self.guard.check_step(self)
 
     def run(self, num_steps: int) -> None:
-        for _ in range(num_steps):
-            self.step()
+        if self.recorder is not None:
+            self.recorder.on_run_start(self, num_steps)
+        try:
+            for _ in range(num_steps):
+                self.step()
+        except BaseException as exc:
+            if self.recorder is not None:
+                self.recorder.on_crash(self, exc)
+            raise

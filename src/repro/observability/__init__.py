@@ -70,7 +70,16 @@ from repro.observability.rank_profile import (
     rank_profiling,
     rank_scope,
 )
+from repro.observability.flight import (
+    FlightRecorder,
+    SegmentedLog,
+    read_events,
+    segment_paths,
+)
+from repro.observability.live import TelemetryPublisher, follow_events
+from repro.observability.timeseries import StepSample, TimeSeriesRecorder
 from repro.observability.tracer import ChromeTracer, tracing
+from repro.observability.watch import WatchView, watch_run
 
 __all__ = [
     "register_tool", "unregister_tool", "registered_tools",
@@ -81,4 +90,8 @@ __all__ = [
     "ChromeTracer", "tracing",
     "RankProfiler", "RankProfileReport", "rank_profiling",
     "rank_scope", "rank_activity", "current_rank",
+    "StepSample", "TimeSeriesRecorder",
+    "FlightRecorder", "SegmentedLog", "read_events", "segment_paths",
+    "TelemetryPublisher", "follow_events",
+    "WatchView", "watch_run",
 ]

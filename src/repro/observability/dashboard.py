@@ -9,7 +9,11 @@ dependencies — inline CSS and SVG only, loadable from disk anywhere:
 - the top-kernel table with the modeled counters
   (:mod:`repro.observability.counters`);
 - a per-rank stacked time-split chart plus table (Figures 9-10 view);
-- regression deltas against the committed ``BENCH_3.json`` baseline.
+- regression deltas against the committed bench history — every
+  ``BENCH_*.json`` with kernel timings, merged per deck by
+  :mod:`repro.bench.history` (falls back to ``BENCH_3.json`` alone
+  when no deck-matched history exists) — plus the per-kernel
+  trajectory across baselines.
 
 :func:`profile_deck` is the driver behind ``repro profile <deck>``:
 it runs the deck distributed under a
@@ -36,7 +40,8 @@ __all__ = [
     "baseline_deltas",
 ]
 
-#: Default committed baseline the regression table compares against.
+#: Single-file fallback baseline when no deck-matched bench history
+#: exists (pre-history behavior).
 _BASELINE_NAME = "BENCH_3.json"
 
 
@@ -48,9 +53,23 @@ def _repo_root() -> str:
     return root if os.path.isdir(os.path.join(root, "src")) else os.getcwd()
 
 
-def load_baseline(path: str | None = None) -> dict | None:
-    """The committed profile baseline, or None when absent."""
+def load_baseline(path: str | None = None,
+                  deck_name: str | None = None) -> dict | None:
+    """The committed profile baseline, or None when absent.
+
+    With an explicit *path* the file is loaded as-is. Otherwise the
+    full ``BENCH_*.json`` history is merged per deck through
+    :func:`repro.bench.history.merged_kernel_baseline`; when no
+    baseline in the history carries kernel timings for *deck_name*
+    (or no deck name is known) the single committed
+    ``BENCH_3.json`` is used as before.
+    """
     if path is None:
+        if deck_name is not None:
+            from repro.bench.history import merged_kernel_baseline
+            merged = merged_kernel_baseline(deck_name)
+            if merged is not None:
+                return merged
         path = os.path.join(_repo_root(), _BASELINE_NAME)
     if not os.path.exists(path):
         return None
@@ -63,11 +82,15 @@ def baseline_deltas(kernel_seconds: dict, steps: int,
     """Per-step deltas of measured kernel time vs the baseline.
 
     Only kernels present in both runs are compared; times are
-    normalized per step because the runs may differ in length.
+    normalized per step because the runs may differ in length. A
+    merged-history baseline carries a ``kernel_sources`` table; each
+    delta row then names the ``BENCH_*.json`` its reference came
+    from.
     """
     if not baseline or not baseline.get("kernel_seconds"):
         return []
     base_steps = max(1, int(baseline.get("steps", 1)))
+    sources = baseline.get("kernel_sources", {})
     deltas = []
     for name, base_sec in sorted(baseline["kernel_seconds"].items()):
         if name not in kernel_seconds:
@@ -81,6 +104,7 @@ def baseline_deltas(kernel_seconds: dict, steps: int,
             "baseline_ms_per_step": base_per_step * 1e3,
             "current_ms_per_step": now_per_step * 1e3,
             "delta_fraction": now_per_step / base_per_step - 1.0,
+            "source": sources.get(name, ""),
         })
     return deltas
 
@@ -100,6 +124,9 @@ class ProfileBundle:
     metrics: dict = field(default_factory=dict)
     deltas: list = field(default_factory=list)
     baseline_note: str = ""
+    #: Per-kernel per-step seconds across every committed BENCH_*
+    #: baseline ({kernel: [{"file", "benchmark", "seconds_per_step"}]}).
+    history: dict = field(default_factory=dict)
 
     def save_trace(self, path: str) -> str | None:
         """Write the merged per-rank Chrome trace, if one was taken."""
@@ -168,13 +195,15 @@ def profile_deck(deck, platform=None, n_ranks: int = 4,
                       push_trace_from_keys(keys, table, atomic=True),
                       cost)
 
+    from repro.bench.history import kernel_trajectory
+
     rank_report = profiler.report()
-    baseline = load_baseline(baseline_path)
+    baseline = load_baseline(baseline_path, deck_name=deck.name)
     kernel_seconds = {name: acc.seconds
                       for name, acc in tool.measured.items()}
     deltas = baseline_deltas(kernel_seconds, deck.num_steps, baseline)
     note = "" if baseline else \
-        f"no {_BASELINE_NAME} baseline found — delta table omitted"
+        f"no bench baseline found for {deck.name} — delta table omitted"
     return ProfileBundle(
         deck_name=deck.name,
         platform_name=platform.name,
@@ -187,6 +216,7 @@ def profile_deck(deck, platform=None, n_ranks: int = 4,
         metrics=default_registry().snapshot(),
         deltas=deltas,
         baseline_note=note,
+        history=kernel_trajectory(deck.name),
     )
 
 
@@ -445,19 +475,47 @@ def _rank_table(report) -> str:
 
 
 def _delta_table(deltas: list) -> str:
+    with_source = any(d.get("source") for d in deltas)
     head = ("<tr><th>kernel</th><th>baseline ms/step</th>"
-            "<th>current ms/step</th><th>delta</th></tr>")
+            "<th>current ms/step</th><th>delta</th>"
+            + ("<th>baseline from</th>" if with_source else "")
+            + "</tr>")
     body = []
     for d in deltas:
         frac = d["delta_fraction"]
         cls = "delta-up" if frac > 0.02 else \
             ("delta-down" if frac < -0.02 else "")
         arrow = "▲ " if frac > 0.02 else ("▼ " if frac < -0.02 else "")
+        src = (f"<td>{html.escape(d.get('source') or '-')}</td>"
+               if with_source else "")
         body.append(
             f"<tr><td>{html.escape(d['name'])}</td>"
             f"<td>{d['baseline_ms_per_step']:.3f}</td>"
             f"<td>{d['current_ms_per_step']:.3f}</td>"
-            f'<td class="{cls}">{arrow}{frac:+.1%}</td></tr>')
+            f'<td class="{cls}">{arrow}{frac:+.1%}</td>{src}</tr>')
+    return f'<table class="data">{head}{"".join(body)}</table>'
+
+
+def _history_table(history: dict) -> str:
+    """Per-kernel per-step times across every committed baseline."""
+    files: list[str] = []
+    for series in history.values():
+        for pt in series:
+            if pt["file"] not in files:
+                files.append(pt["file"])
+    if not files:
+        return '<p class="note">(no bench history for this deck)</p>'
+    head = ("<tr><th>kernel</th>"
+            + "".join(f"<th>{html.escape(f)} ms/step</th>"
+                      for f in files) + "</tr>")
+    body = []
+    for name in sorted(history):
+        cells = {pt["file"]: pt["seconds_per_step"]
+                 for pt in history[name]}
+        row = "".join(
+            f"<td>{cells[f] * 1e3:.3f}</td>" if f in cells
+            else "<td>-</td>" for f in files)
+        body.append(f"<tr><td>{html.escape(name)}</td>{row}</tr>")
     return f'<table class="data">{head}{"".join(body)}</table>'
 
 
@@ -500,11 +558,16 @@ def render_dashboard(bundle: ProfileBundle) -> str:
             f'{_rank_bars_svg(report)}{_rank_table(report)}</div>')
     if bundle.deltas:
         sections.append(
-            f'<h2>Regression vs committed baseline</h2>'
+            f'<h2>Regression vs committed bench history</h2>'
             f'<div class="card">{_delta_table(bundle.deltas)}</div>')
     elif bundle.baseline_note:
         sections.append(f'<p class="note">'
                         f'{html.escape(bundle.baseline_note)}</p>')
+    if bundle.history:
+        sections.append(
+            f'<h2>Bench trajectory — '
+            f'{html.escape(bundle.deck_name)}</h2>'
+            f'<div class="card">{_history_table(bundle.history)}</div>')
     sections.append(
         '<div class="footer">'
         'Reading this page against the paper: the roofline point per '

@@ -1,0 +1,221 @@
+"""Live follow channel for flight-recorded runs.
+
+Two ways to watch a run while it is still stepping:
+
+- :func:`follow_events` tails the segment-rotated JSONL flight log on
+  disk (the zero-dependency path ``repro watch`` uses — any process
+  that can read the run dir can follow, including plain ``tail -f``);
+- :class:`TelemetryPublisher` is an optional localhost push channel:
+  the :class:`~repro.observability.flight.FlightRecorder` mirrors
+  every JSONL line to connected subscribers, either as raw
+  newline-delimited JSON (``mode="jsonl"``, one ``nc localhost
+  <port>`` away) or as HTTP Server-Sent Events (``mode="sse"``, one
+  ``curl``/``EventSource`` away).
+
+The publisher is deliberately minimal: a daemon accept thread, a
+best-effort non-blocking fan-out, and dead subscribers dropped on
+first send failure — a telemetry channel must never be able to stall
+the simulation it observes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from typing import Iterator
+
+from repro.observability.flight import segment_paths
+
+__all__ = ["follow_events", "TelemetryPublisher"]
+
+
+def _segment_index(path: str) -> int:
+    base = os.path.basename(path)
+    try:
+        return int(base.split("-", 1)[1].split(".", 1)[0])
+    except (IndexError, ValueError):
+        return -1
+
+
+def follow_events(run_dir: str, poll: float = 0.2,
+                  timeout: float | None = None,
+                  stop_on_end: bool = True) -> Iterator[dict]:
+    """Tail a run dir's flight log, yielding events as they land.
+
+    Starts from the oldest retained segment, follows segment
+    rotation (including eviction of the segment currently being
+    read), and returns when a ``run_end``/``crash`` event is seen
+    (``stop_on_end``) or *timeout* seconds pass with the run still
+    going. A torn trailing line (the writer mid-append) is simply
+    retried on the next poll.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    current: str | None = None
+    handle = None
+    buffer = ""
+    try:
+        while True:
+            if handle is None:
+                segments = segment_paths(run_dir)
+                if current is not None:
+                    idx = _segment_index(current)
+                    segments = [p for p in segments
+                                if _segment_index(p) > idx]
+                if segments:
+                    current = segments[0]
+                    handle = open(current)
+                    buffer = ""
+            if handle is not None:
+                chunk = handle.read()
+                if chunk:
+                    buffer += chunk
+                    while "\n" in buffer:
+                        line, buffer = buffer.split("\n", 1)
+                        if not line.strip():
+                            continue
+                        try:
+                            event = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue
+                        yield event
+                        if stop_on_end and \
+                                event.get("ev") in ("run_end", "crash"):
+                            return
+                    continue
+                # EOF: hop to the next segment if the writer rotated
+                # (or evicted the one we were reading).
+                nxt = [p for p in segment_paths(run_dir)
+                       if _segment_index(p) > _segment_index(current)]
+                if nxt or not os.path.exists(current):
+                    handle.close()
+                    handle = None
+                    continue
+            if deadline is not None and time.monotonic() >= deadline:
+                return
+            time.sleep(poll)
+    finally:
+        if handle is not None:
+            handle.close()
+
+
+_SSE_HEADER = (b"HTTP/1.1 200 OK\r\n"
+               b"Content-Type: text/event-stream\r\n"
+               b"Cache-Control: no-cache\r\n"
+               b"Connection: keep-alive\r\n"
+               b"Access-Control-Allow-Origin: *\r\n\r\n")
+
+
+class TelemetryPublisher:
+    """Localhost fan-out of flight-log lines to live subscribers.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port 0 (default) picks a free port, read the
+        chosen one from :attr:`port`.
+    mode:
+        ``"jsonl"`` — raw newline-delimited JSON per subscriber;
+        ``"sse"`` — minimal HTTP Server-Sent Events (each line sent
+        as one ``data:`` frame).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 mode: str = "jsonl"):
+        if mode not in ("jsonl", "sse"):
+            raise ValueError(f"mode must be 'jsonl' or 'sse', got {mode!r}")
+        self.mode = mode
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind((host, port))
+        self._server.listen(8)
+        self.host, self.port = self._server.getsockname()[:2]
+        self._clients: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.published = 0
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="telemetry-accept",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def endpoint(self) -> str:
+        scheme = "http" if self.mode == "sse" else "tcp"
+        return f"{scheme}://{self.host}:{self.port}"
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _ = self._server.accept()
+            except OSError:
+                return                  # server socket closed
+            try:
+                if self.mode == "sse":
+                    # Drain the request head, then commit to a stream.
+                    client.settimeout(2.0)
+                    head = b""
+                    while b"\r\n\r\n" not in head and len(head) < 8192:
+                        chunk = client.recv(1024)
+                        if not chunk:
+                            break
+                        head += chunk
+                    client.sendall(_SSE_HEADER)
+                client.settimeout(0.5)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self._clients.append(client)
+
+    def publish(self, line: str) -> None:
+        """Send one flight-log line to every live subscriber.
+
+        Best-effort: a slow or gone subscriber is dropped, never
+        waited on.
+        """
+        if self._closed:
+            return
+        if self.mode == "sse":
+            payload = b"data: " + line.encode() + b"\n\n"
+        else:
+            payload = line.encode() + b"\n"
+        with self._lock:
+            clients = list(self._clients)
+        dead = []
+        for client in clients:
+            try:
+                client.sendall(payload)
+            except OSError:
+                dead.append(client)
+        if dead:
+            with self._lock:
+                for client in dead:
+                    if client in self._clients:
+                        self._clients.remove(client)
+                    client.close()
+        self.published += 1
+
+    @property
+    def subscribers(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            clients, self._clients = self._clients, []
+        for client in clients:
+            try:
+                client.close()
+            except OSError:
+                pass
+        self._thread.join(timeout=1.0)

@@ -22,6 +22,7 @@ name                        kind       meaning
 ``sim/particles_pushed``    counter    particle pushes executed
 ``sim/step_seconds``        histogram  wall time per step
 ``sim/energy_drift``        gauge      |E_total - E_0| / E_0  (detail)
+``native/step_seconds``     histogram  compiled push-tile call time
 ``sort/applied``            counter    species sort events
 ``sort/disorder_before``    gauge      adjacent-pair disorder (detail)
 ``sort/disorder_after``     gauge      idem, after the sort (detail)
@@ -154,8 +155,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def window_full(self) -> bool:
+        """Whether the percentile window has wrapped: when True,
+        percentiles describe only the most recent ``window``
+        observations, not the full history."""
+        return self.count > self.window
+
     def percentile(self, p: float) -> float:
-        """p-th percentile (0-100) over the retained window."""
+        """p-th percentile over the retained window.
+
+        *p* must be in [0, 100]; an empty window reports 0.0 (an
+        instrument that was created but never observed).
+        """
+        p = float(p)
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(
+                f"percentile must be in [0, 100], got {p}")
         if not self._samples:
             return 0.0
         return float(np.percentile(self._samples, p))
@@ -170,8 +186,9 @@ class Histogram:
             "max": self.max if self.count else 0.0,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "window_full": self.window_full,
         }
-        if self.count > self.window:
+        if self.window_full:
             # Percentiles cover only the retained window — say so
             # instead of letting truncation pass silently.
             snap["note"] = (f"percentiles over last {self.window} of "

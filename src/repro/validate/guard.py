@@ -79,6 +79,9 @@ class SimulationGuard:
         self.ring = (CheckpointRing(depth=ring_depth, directory=ring_dir)
                      if checkpoint_interval > 0 else None)
         self.report = GuardReport()
+        #: Optional callable fired with the step number after every
+        #: validated auto-checkpoint push (flight-recorder hook).
+        self.on_checkpoint = None
 
     # -- attachment ---------------------------------------------------------
 
@@ -89,10 +92,15 @@ class SimulationGuard:
 
     # -- loop hooks ---------------------------------------------------------
 
+    def _push_checkpoint(self, sim) -> None:
+        self.ring.push(sim)
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(sim.step_count)
+
     def before_step(self, sim) -> None:
         """Pre-step: seed the rollback ring and arm two-sided checks."""
         if self.ring is not None and not self.ring.entries:
-            self.ring.push(sim)
+            self._push_checkpoint(sim)
         next_step = sim.step_count + 1
         for check in self.checks:
             if check.due(next_step):
@@ -118,7 +126,7 @@ class SimulationGuard:
             self._dispatch(sim, violations)
         elif (self.ring is not None
                 and sim.step_count % self.checkpoint_interval == 0):
-            self.ring.push(sim)
+            self._push_checkpoint(sim)
 
     # -- dispatch -----------------------------------------------------------
 

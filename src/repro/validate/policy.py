@@ -78,11 +78,19 @@ class GuardEvent:
 
 @dataclass
 class GuardReport:
-    """Structured audit trail of one guarded run."""
+    """Structured audit trail of one guarded run.
+
+    ``listeners`` stream: every recorded :class:`GuardEvent` is also
+    passed to each registered callable as it happens — the flight
+    recorder subscribes one to put guard decisions on the live
+    telemetry channel *before* a ``raise`` propagates.
+    """
 
     events: list[GuardEvent] = field(default_factory=list)
     checks_run: dict[str, int] = field(default_factory=dict)
     steps_guarded: int = 0
+    listeners: list = field(default_factory=list, repr=False,
+                            compare=False)
 
     def record_run(self, check_name: str) -> None:
         self.checks_run[check_name] = self.checks_run.get(check_name, 0) + 1
@@ -94,6 +102,8 @@ class GuardReport:
                         threshold=violation.threshold,
                         message=violation.message, detail=detail)
         self.events.append(ev)
+        for listener in self.listeners:
+            listener(ev)
         return ev
 
     # -- aggregates -----------------------------------------------------------

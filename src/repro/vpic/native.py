@@ -219,8 +219,21 @@ class _NativePush:
         ``table`` is the (n_voxels, 6) interleaved field table;
         ``acc_*`` are float64 per-voxel current accumulators the
         caller folds into J afterwards.
+
+        The whole-tile ctypes call runs under a ``native_push``
+        tracer span (nested inside the caller's ``push/<species>``
+        region, so it shows up region-qualified in kernel timings and
+        Chrome traces) and reports its wall time into the
+        ``native/step_seconds`` histogram — the compiled lane is the
+        one piece of the step Python-level timers cannot see inside.
         """
+        import time
+
         import numpy as np
+
+        from repro.kokkos.profiling import record_kernel
+        from repro.observability.metrics import default_registry
+
         g = grid
         eps = 1e-9
         _, sy, sz = g.shape
@@ -230,29 +243,34 @@ class _NativePush:
         def fp(a):
             return a.ctypes.data_as(pf)
 
-        self._fn(
-            fp(x), fp(y), fp(z), fp(ux), fp(uy), fp(uz), fp(w),
-            ctypes.c_int64(x.size), fp(table),
-            acc_x.ctypes.data_as(pd), acc_y.ctypes.data_as(pd),
-            acc_z.ctypes.data_as(pd),
-            ctypes.c_int64(sy), ctypes.c_int64(sz),
-            ctypes.c_double(g.nx - eps), ctypes.c_double(g.ny - eps),
-            ctypes.c_double(g.nz - eps),
-            ctypes.c_double(g.x0), ctypes.c_double(g.y0),
-            ctypes.c_double(g.z0),
-            ctypes.c_double(g.dx), ctypes.c_double(g.dy),
-            ctypes.c_double(g.dz),
-            ctypes.c_float(g.x0), ctypes.c_float(g.y0),
-            ctypes.c_float(g.z0),
-            ctypes.c_float(g.dx), ctypes.c_float(g.dy),
-            ctypes.c_float(g.dz),
-            ctypes.c_float(g.lengths[0]), ctypes.c_float(g.lengths[1]),
-            ctypes.c_float(g.lengths[2]),
-            ctypes.c_float(np.float32(qdt_2m)),
-            ctypes.c_float(np.float32(g.dt)),
-            ctypes.c_float(np.float32(inv_vol)),
-            ctypes.c_int(1 if wrap else 0),
-        )
+        t0 = time.perf_counter()
+        with record_kernel("native_push"):
+            self._fn(
+                fp(x), fp(y), fp(z), fp(ux), fp(uy), fp(uz), fp(w),
+                ctypes.c_int64(x.size), fp(table),
+                acc_x.ctypes.data_as(pd), acc_y.ctypes.data_as(pd),
+                acc_z.ctypes.data_as(pd),
+                ctypes.c_int64(sy), ctypes.c_int64(sz),
+                ctypes.c_double(g.nx - eps), ctypes.c_double(g.ny - eps),
+                ctypes.c_double(g.nz - eps),
+                ctypes.c_double(g.x0), ctypes.c_double(g.y0),
+                ctypes.c_double(g.z0),
+                ctypes.c_double(g.dx), ctypes.c_double(g.dy),
+                ctypes.c_double(g.dz),
+                ctypes.c_float(g.x0), ctypes.c_float(g.y0),
+                ctypes.c_float(g.z0),
+                ctypes.c_float(g.dx), ctypes.c_float(g.dy),
+                ctypes.c_float(g.dz),
+                ctypes.c_float(g.lengths[0]),
+                ctypes.c_float(g.lengths[1]),
+                ctypes.c_float(g.lengths[2]),
+                ctypes.c_float(np.float32(qdt_2m)),
+                ctypes.c_float(np.float32(g.dt)),
+                ctypes.c_float(np.float32(inv_vol)),
+                ctypes.c_int(1 if wrap else 0),
+            )
+        default_registry().histogram("native/step_seconds").observe(
+            time.perf_counter() - t0)
 
 
 def _build() -> "tuple[_NativePush | None, str]":

@@ -64,6 +64,13 @@ class Simulation:
     #: when set, :meth:`step` brackets every timestep with its
     #: before/after hooks.
     guard: object | None = None
+    #: Optional live-telemetry recorder (see
+    #: :mod:`repro.observability.timeseries` /
+    #: :mod:`repro.observability.flight`): ``on_run_start`` fires at
+    #: the top of :meth:`run`, ``on_step`` after every completed
+    #: timestep, and ``on_crash`` when any exception — including a
+    #: guard raise or a KeyboardInterrupt — escapes the run loop.
+    recorder: object | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -242,12 +249,18 @@ class Simulation:
                 for sp in self.species:
                     with record_kernel(f"sort/{sp.name}"):
                         self.sort_step.apply(sp, scratch=self._arena)
+        step_seconds = time.perf_counter() - t0
         reg = default_registry()
         reg.counter("sim/steps").inc()
         reg.counter("sim/particles_pushed").inc(pushed)
-        reg.histogram("sim/step_seconds").observe(time.perf_counter() - t0)
+        reg.histogram("sim/step_seconds").observe(step_seconds)
         if detail_enabled():
             self._record_energy_drift(reg)
+        # Sample before the guard verdict: a step that the guard then
+        # rejects (raise/rollback) still happened, and the flight
+        # recorder's job is to have seen it.
+        if self.recorder is not None:
+            self.recorder.on_step(self, step_seconds)
         if self.guard is not None:
             self.guard.after_step(self)
 
@@ -279,11 +292,21 @@ class Simulation:
         """
         if num_steps <= 0:
             raise ValueError(f"num_steps must be positive, got {num_steps}")
+        if self.recorder is not None:
+            self.recorder.on_run_start(self, num_steps)
         if diagnostic is not None and self.step_count == 0:
             diagnostic.record(self)
         target = self.step_count + num_steps
-        while self.step_count < target:
-            self.step()
-            if diagnostic is not None and \
-                    self.step_count % sample_every == 0:
-                diagnostic.record(self)
+        try:
+            while self.step_count < target:
+                self.step()
+                if diagnostic is not None and \
+                        self.step_count % sample_every == 0:
+                    diagnostic.record(self)
+        except BaseException as exc:
+            # Flight-recorder contract: anything that escapes the run
+            # loop — guard raise, numerical blow-up, Ctrl-C — dumps
+            # the in-memory telemetry tail before propagating.
+            if self.recorder is not None:
+                self.recorder.on_crash(self, exc)
+            raise

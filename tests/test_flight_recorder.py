@@ -1,0 +1,555 @@
+"""Flight recorder, live telemetry, and crash-dump tests.
+
+Covers the observability tentpole of the flight-recorder PR: stride
+and ring-buffer bounds of the time-series sampler, segment rotation
+under a tiny byte budget (every retained line must still parse),
+crash dumps from a guard raise and from a KeyboardInterrupt escaping
+the run loop, the distributed per-rank aggregates, the watch view,
+the localhost telemetry publisher, the bench-history merger, and the
+satellite fixes (Histogram window/percentile, native span).
+"""
+
+import json
+import os
+import socket
+
+import numpy as np
+import pytest
+
+from repro.observability.flight import (FlightRecorder, SegmentedLog,
+                                        read_events, segment_paths)
+from repro.observability.timeseries import (StepSample,
+                                            TimeSeriesRecorder, phase_of)
+from repro.observability.watch import WatchView, watch_run
+from repro.vpic.workloads import uniform_plasma_deck
+
+pytestmark = pytest.mark.record
+
+
+def _build(num_steps=6, nx=6):
+    deck = uniform_plasma_deck(nx=nx, ny=nx, nz=nx, ppc=4, uth=0.05,
+                               num_steps=num_steps)
+    return deck, deck.build()
+
+
+# -- time-series sampler ------------------------------------------------------
+
+
+def test_phase_folding():
+    assert phase_of("step/push/electron") == "push"
+    assert phase_of("step/native_push") == "native"
+    assert phase_of("step/field_solve") == "field"
+    assert phase_of("field/advance_b") == "field"
+    assert phase_of("step/sort/electron") == "sort"
+    assert phase_of("halo/exchange") == "comm"
+    assert phase_of("migrate") == "comm"
+    assert phase_of("guard/checks") == "guard"
+    assert phase_of("something_else") == "other"
+
+
+def test_recorder_samples_every_step():
+    _, sim = _build(num_steps=5)
+    rec = TimeSeriesRecorder(stride=1)
+    rec.attach(sim)
+    sim.run(5)
+    assert rec.steps_seen == 5
+    assert rec.samples_taken == 5
+    samples = rec.samples()
+    assert [s.step for s in samples] == [1, 2, 3, 4, 5]
+    assert all(s.step_seconds > 0 for s in samples)
+    assert all(s.particles == sim.total_particles for s in samples)
+    # Phase deltas must attribute some time to the particle push.
+    assert any(s.phase_ms.get("push", 0) > 0 or
+               s.phase_ms.get("native", 0) > 0 for s in samples)
+    # The first sample carries energy diagnostics (energy_every=10
+    # fires on sample 0) with zero drift by definition.
+    assert samples[0].energy is not None
+    assert samples[0].energy["drift"] == 0.0
+    assert rec.overhead_seconds > 0
+
+
+def test_recorder_stride_and_ring_bounds():
+    _, sim = _build(num_steps=12)
+    rec = TimeSeriesRecorder(stride=3, capacity=2)
+    rec.attach(sim)
+    sim.run(12)
+    assert rec.steps_seen == 12
+    assert rec.samples_taken == 4          # steps 3, 6, 9, 12
+    assert len(rec.buffer) == 2            # ring keeps the newest two
+    assert rec.buffer.dropped == 2
+    assert [s.step for s in rec.samples()] == [9, 12]
+    assert rec.summary()["dropped"] == 2
+
+
+def test_recorder_rejects_bad_stride():
+    with pytest.raises(ValueError):
+        TimeSeriesRecorder(stride=0)
+
+
+def test_step_sample_event_shape():
+    s = StepSample(step=3, t=123.5, step_seconds=0.01, particles=100,
+                   phase_ms={"push": 5.0, "other": 0.0})
+    ev = s.to_event()
+    assert ev["ev"] == "step"
+    assert ev["step"] == 3
+    assert ev["phase_ms"] == {"push": 5.0}   # zero lanes elided
+    assert "energy" not in ev
+
+
+# -- segmented log ------------------------------------------------------------
+
+
+def test_segmented_log_rotation_all_lines_parse(tmp_path):
+    """Under a tiny byte budget the log rotates and evicts whole
+    segments, and every retained line is valid JSON (no torn/partial
+    lines at segment boundaries)."""
+    d = str(tmp_path / "log")
+    log = SegmentedLog(d, segment_bytes=256, max_segments=3)
+    for i in range(200):
+        log.append({"ev": "step", "step": i, "pad": "x" * 40})
+    log.close()
+    paths = segment_paths(d)
+    assert 1 <= len(paths) <= 3
+    assert log.segments_rotated > 0
+    total_bytes = sum(os.path.getsize(p) for p in paths)
+    # One overlong line may exceed a segment, never more.
+    assert total_bytes <= 3 * 256 + 128
+    steps = []
+    for p in paths:
+        with open(p) as f:
+            for line in f:
+                ev = json.loads(line)      # raises on any torn line
+                steps.append(ev["step"])
+    assert steps == sorted(steps)
+    assert steps[-1] == 199                # newest survives eviction
+    assert log.lines_written == 200
+
+
+def test_segmented_log_resumes_after_newest(tmp_path):
+    d = str(tmp_path / "log")
+    log = SegmentedLog(d, segment_bytes=64, max_segments=8)
+    for i in range(10):
+        log.append({"i": i})
+    log.close()
+    before = segment_paths(d)
+    log2 = SegmentedLog(d, segment_bytes=64, max_segments=8)
+    log2.append({"i": 10})
+    log2.close()
+    after = segment_paths(d)
+    # The resumed writer opened a fresh segment; old ones untouched.
+    assert len(after) == len(before) + 1
+    assert [e["i"] for e in read_events(d)] == list(range(11))
+
+
+def test_read_events_skips_torn_line(tmp_path):
+    d = str(tmp_path / "log")
+    log = SegmentedLog(d)
+    log.append({"ev": "a"})
+    log.close()
+    with open(segment_paths(d)[0], "a") as f:
+        f.write('{"ev": "torn"')            # no newline, invalid JSON
+    assert [e["ev"] for e in read_events(d)] == ["a"]
+
+
+# -- flight recorder: clean run ----------------------------------------------
+
+
+def test_flight_recorder_clean_run(tmp_path):
+    _, sim = _build(num_steps=6)
+    run_dir = str(tmp_path / "run")
+    rec = FlightRecorder(run_dir, stride=1)
+    rec.attach(sim)
+    with rec:
+        sim.run(6)
+    events = read_events(run_dir)
+    kinds = [e["ev"] for e in events]
+    assert kinds[0] == "run_header"
+    assert kinds[-1] == "run_end"
+    assert kinds.count("step") == 6
+    header = events[0]
+    assert header["steps_planned"] == 6
+    assert header["n_ranks"] == 1
+    assert header["schema"] == 1
+    assert header["particles"] == sim.total_particles
+    # header.json mirrors the first event.
+    with open(os.path.join(run_dir, "header.json")) as f:
+        assert json.load(f)["steps_planned"] == 6
+    end = events[-1]
+    assert end["status"] == "completed"
+    assert end["recorder"]["samples"] == 6
+    assert not os.path.exists(rec.crash_path)
+
+
+def test_flight_recorder_guard_crash_dump(tmp_path):
+    """A guard raise mid-run must leave a complete crash dump: the
+    guard event precedes the crash in the log, and crash.json carries
+    the tail, traceback, and guard report."""
+    from repro.validate.guard import SimulationGuard
+    from repro.validate.policy import GuardViolationError
+
+    _, sim = _build(num_steps=10)
+    guard = SimulationGuard(policy="raise", checkpoint_interval=2)
+    guard.attach(sim)
+    run_dir = str(tmp_path / "run")
+    rec = FlightRecorder(run_dir, stride=1)
+    rec.attach(sim)
+
+    class Poison:
+        calls = 0
+
+        def record(self, s):
+            Poison.calls += 1
+            if Poison.calls == 4:
+                s.fields.ey.data[1, 1, 1] = np.nan
+
+    with pytest.raises(GuardViolationError):
+        sim.run(10, diagnostic=Poison())
+
+    events = read_events(run_dir)
+    kinds = [e["ev"] for e in events]
+    assert "guard" in kinds and "crash" in kinds
+    assert kinds.index("guard") < kinds.index("crash")
+    assert kinds[-1] == "run_end"
+    assert events[-1]["status"] == "crashed"
+    guard_ev = events[kinds.index("guard")]
+    assert guard_ev["action"] == "raise"
+    # Auto-checkpoints streamed too (interval=2 over several steps).
+    assert "checkpoint" in kinds
+
+    with open(rec.crash_path) as f:
+        dump = json.load(f)
+    assert dump["type"] == "GuardViolationError"
+    assert dump["step"] == sim.step_count
+    assert dump["tail"], "in-memory sample tail must be dumped"
+    assert dump["tail"][-1]["step"] == sim.step_count
+    assert any("GuardViolationError" in ln for ln in dump["traceback"])
+    assert dump["guard_report"]["events"][0]["action"] == "raise"
+    assert dump["header"]["steps_planned"] == 10
+    assert "metrics" in dump
+
+
+def test_flight_recorder_keyboard_interrupt(tmp_path):
+    """BaseException (Ctrl-C) escaping the run loop still dumps."""
+    _, sim = _build(num_steps=10)
+    run_dir = str(tmp_path / "run")
+    rec = FlightRecorder(run_dir, stride=1)
+    rec.attach(sim)
+
+    class Interrupt:
+        def record(self, s):
+            if s.step_count == 3:
+                raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        sim.run(10, diagnostic=Interrupt())
+    events = read_events(run_dir)
+    crash = [e for e in events if e["ev"] == "crash"]
+    assert crash and crash[0]["type"] == "KeyboardInterrupt"
+    with open(rec.crash_path) as f:
+        dump = json.load(f)
+    assert dump["type"] == "KeyboardInterrupt"
+    assert dump["tail"]
+
+
+def test_flight_recorder_crash_idempotent(tmp_path):
+    _, sim = _build(num_steps=4)
+    run_dir = str(tmp_path / "run")
+    rec = FlightRecorder(run_dir)
+    rec.attach(sim)
+    rec.on_run_start(sim, 4)
+    exc = RuntimeError("boom")
+    rec.on_crash(sim, exc)
+    rec.on_crash(sim, RuntimeError("second"))   # nested driver: no-op
+    events = read_events(run_dir)
+    assert [e["ev"] for e in events].count("crash") == 1
+    assert events[[e["ev"] for e in events].index("crash")][
+        "error"] == "boom"
+
+
+# -- distributed --------------------------------------------------------------
+
+
+def test_flight_recorder_distributed_rank_aggregates(tmp_path):
+    from repro.mpi.distributed import DistributedSimulation
+
+    deck = uniform_plasma_deck(nx=8, ny=8, nz=8, ppc=2, uth=0.05,
+                               num_steps=3)
+    dsim = DistributedSimulation(deck, n_ranks=4)
+    run_dir = str(tmp_path / "run")
+    rec = FlightRecorder(run_dir, stride=1)
+    rec.attach(dsim)
+    try:
+        with rec:
+            dsim.run(3)
+    finally:
+        dsim.close()
+    events = read_events(run_dir)
+    header = events[0]
+    assert header["n_ranks"] == 4
+    steps = [e for e in events if e["ev"] == "step"]
+    assert len(steps) == 3
+    for ev in steps:
+        ranks = ev["ranks"]
+        assert ranks["n_ranks"] == 4
+        assert len(ranks["particles"]) == 4
+        assert sum(ranks["particles"]) == ev["particles"]
+        assert ranks["load_imbalance"] >= 0
+
+
+# -- live follow + watch ------------------------------------------------------
+
+
+def test_follow_events_reads_completed_run(tmp_path):
+    _, sim = _build(num_steps=4)
+    run_dir = str(tmp_path / "run")
+    with FlightRecorder(run_dir, stride=1) as rec:
+        rec.attach(sim)
+        sim.run(4)
+    from repro.observability.live import follow_events
+    events = list(follow_events(run_dir, timeout=0, poll=0.0))
+    kinds = [e["ev"] for e in events]
+    assert kinds[0] == "run_header"
+    assert kinds[-1] == "run_end"
+    assert kinds.count("step") == 4
+
+
+def test_watch_view_render_and_eta():
+    view = WatchView()
+    view.feed({"ev": "run_header", "deck": "uniform_plasma",
+               "particles": 1000, "stride": 1, "step_start": 0,
+               "steps_planned": 10, "n_ranks": 1, "guarded": True})
+    for i in range(1, 6):
+        view.feed({"ev": "step", "step": i, "t": 100.0 + i * 0.5,
+                   "step_seconds": 0.5, "particles": 1000,
+                   "phase_ms": {"push": 4.0, "field": 1.0},
+                   "energy": {"drift": 1e-4}})
+    assert view.current_step == 5
+    assert view.target_step == 10
+    assert view.steps_per_second() == pytest.approx(2.0)
+    assert view.eta_seconds() == pytest.approx(2.5)
+    assert view.guard_status() == "ok"
+    out = view.render()
+    assert "5/10" in out
+    assert "push 80%" in out
+    assert "energy drift" in out
+    view.feed({"ev": "crash", "step": 5, "type": "RuntimeError",
+               "error": "boom"})
+    assert view.guard_status() == "CRASHED"
+    assert "CRASH at step 5" in view.render()
+
+
+def test_watch_once_cli(tmp_path, capsys):
+    _, sim = _build(num_steps=3)
+    run_dir = str(tmp_path / "run")
+    with FlightRecorder(run_dir, stride=1) as rec:
+        rec.attach(sim)
+        sim.run(3)
+    import io
+    buf = io.StringIO()
+    rc = watch_run(run_dir, once=True, stream=buf)
+    assert rc == 0
+    assert "3/3" in buf.getvalue()
+    from repro.cli import main
+    assert main(["watch", run_dir, "--once"]) == 0
+    assert "run ended" in capsys.readouterr().out
+
+
+def test_telemetry_publisher_jsonl_roundtrip():
+    from repro.observability.live import TelemetryPublisher
+    try:
+        pub = TelemetryPublisher(mode="jsonl")
+    except OSError:
+        pytest.skip("cannot bind localhost socket in this sandbox")
+    try:
+        client = socket.create_connection(("127.0.0.1", pub.port),
+                                          timeout=2.0)
+        # Wait for the accept thread to register the subscriber.
+        for _ in range(100):
+            if pub.subscribers:
+                break
+            import time
+            time.sleep(0.01)
+        assert pub.subscribers == 1
+        pub.publish('{"ev":"step","step":1}')
+        client.settimeout(2.0)
+        data = client.recv(4096)
+        assert json.loads(data.decode().splitlines()[0])["step"] == 1
+        client.close()
+    finally:
+        pub.close()
+    with pytest.raises(ValueError):
+        TelemetryPublisher(mode="bogus")
+
+
+# -- CLI: run-deck --record ---------------------------------------------------
+
+
+def test_run_deck_record_cli(tmp_path, capsys):
+    from repro.cli import main
+    run_dir = str(tmp_path / "flight")
+    rc = main(["run-deck", "uniform", "--steps", "4", "--record",
+               "--record-dir", run_dir])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "flight log" in out
+    events = read_events(run_dir)
+    kinds = [e["ev"] for e in events]
+    assert kinds[0] == "run_header"
+    assert kinds.count("step") == 4
+    assert kinds[-1] == "run_end"
+
+
+def test_run_deck_record_guard_crash_cli(tmp_path, capsys, monkeypatch):
+    """A guard trip under --record leaves a crash dump on disk and the
+    CLI reports where it is."""
+    from repro import cli as cli_mod
+    from repro.cli import main
+
+    real_factory = cli_mod._deck_factory
+
+    def poisoned(name, steps, seed):
+        deck = real_factory(name, steps, seed)
+        import dataclasses
+
+        def poison(sim):
+            sim.fields.ey.data[1, 1, 1] = np.inf
+        return dataclasses.replace(deck, field_init=poison)
+
+    monkeypatch.setattr(cli_mod, "_deck_factory", poisoned)
+    run_dir = str(tmp_path / "flight")
+    rc = main(["run-deck", "uniform", "--steps", "6", "--guard",
+               "--record", "--record-dir", run_dir])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "guard violation" in out
+    assert "crash dump" in out
+    with open(os.path.join(run_dir, "crash.json")) as f:
+        dump = json.load(f)
+    assert dump["type"] == "GuardViolationError"
+    events = read_events(run_dir)
+    assert [e["ev"] for e in events][-1] == "run_end"
+
+
+# -- bench history ------------------------------------------------------------
+
+
+def test_bench_history_merge(tmp_path):
+    from repro.bench.history import (format_history, history_rows,
+                                     kernel_trajectory, load_history,
+                                     merged_kernel_baseline)
+    root = str(tmp_path)
+    (tmp_path / "BENCH_3.json").write_text(json.dumps({
+        "benchmark": "profile_overhead", "deck": "uniform_plasma",
+        "steps": 4, "overhead_fraction": 0.05, "n_ranks": 2,
+        "kernel_seconds": {"push/electron": 0.08,
+                           "halo/exchange": 0.01},
+    }))
+    (tmp_path / "BENCH_5.json").write_text(json.dumps({
+        "benchmark": "step_throughput",
+        "decks": {"uniform": {"speedup": 5.0,
+                              "fast_kernel_ms_per_step": {
+                                  "step/push/electron": 3.0,
+                                  "step/sort/electron": 0.5}}},
+    }))
+    (tmp_path / "BENCH_9.json").write_text("not json at all")
+    records = load_history(root)
+    assert [r.name for r in records] == ["BENCH_3.json", "BENCH_5.json"]
+    rows = history_rows(records)
+    assert rows[0]["benchmark"] == "profile_overhead"
+    assert "5.0x" in rows[1]["headline"]
+    assert "BENCH_3.json" in format_history(records)
+
+    merged = merged_kernel_baseline("uniform_plasma", records)
+    assert merged["steps"] == 1
+    # profile_overhead wins for the shared kernel (0.08 s / 4 steps),
+    # step_throughput fills in what it alone saw.
+    assert merged["kernel_seconds"]["push/electron"] == \
+        pytest.approx(0.02)
+    assert merged["kernel_sources"]["push/electron"] == "BENCH_3.json"
+    assert merged["kernel_seconds"]["sort/electron"] == \
+        pytest.approx(0.0005)
+    assert merged["kernel_sources"]["sort/electron"] == "BENCH_5.json"
+    assert merged_kernel_baseline("harris_sheet", records) is None
+
+    traj = kernel_trajectory("uniform_plasma", records)
+    assert [p["file"] for p in traj["push/electron"]] == \
+        ["BENCH_3.json", "BENCH_5.json"]
+
+
+def test_bench_history_against_real_repo():
+    """The committed BENCH_* files must parse and merge."""
+    from repro.bench.history import history_rows, merged_kernel_baseline
+    rows = history_rows()
+    assert any(r["benchmark"] == "profile_overhead" for r in rows)
+    merged = merged_kernel_baseline("uniform_plasma")
+    assert merged is not None
+    assert "push/electron" in merged["kernel_seconds"]
+
+
+def test_baseline_deltas_carry_sources():
+    from repro.observability.dashboard import baseline_deltas
+    baseline = {"steps": 1,
+                "kernel_seconds": {"push/electron": 0.01},
+                "kernel_sources": {"push/electron": "BENCH_3.json"}}
+    deltas = baseline_deltas({"push/electron": 0.06}, 5, baseline)
+    assert len(deltas) == 1
+    assert deltas[0]["source"] == "BENCH_3.json"
+    assert deltas[0]["delta_fraction"] == pytest.approx(0.2)
+
+
+def test_bench_history_cli(capsys):
+    from repro.cli import main
+    assert main(["bench", "history"]) == 0
+    out = capsys.readouterr().out
+    assert "profile_overhead" in out
+    assert main(["bench", "history", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert isinstance(rows, list) and rows
+
+
+# -- satellite: histogram fixes ----------------------------------------------
+
+
+def test_histogram_window_full_and_percentile_validation():
+    from repro.observability.metrics import Histogram
+    h = Histogram("t", window=4)
+    assert h.window_full is False
+    assert h.percentile(50) == 0.0          # empty window: 0.0, no raise
+    assert h.snapshot()["window_full"] is False
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.observe(v)
+    assert h.window_full is False
+    h.observe(5.0)
+    assert h.window_full is True
+    snap = h.snapshot()
+    assert snap["window_full"] is True
+    assert "note" in snap
+    assert h.min == 1.0                     # totals still cover all
+    assert h.percentile(0) == 2.0           # window dropped the 1.0
+    assert h.percentile(100) == 5.0
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+# -- satellite: native span ---------------------------------------------------
+
+
+def test_native_push_records_span_and_histogram():
+    from repro.kokkos.profiling import (kernel_timings, profiling_session)
+    from repro.observability.metrics import default_registry
+    from repro.vpic.native import native_available
+
+    if not native_available():
+        pytest.skip("no native lane in this environment")
+    hist = default_registry().histogram("native/step_seconds")
+    before = hist.count
+    with profiling_session():
+        _, sim = _build(num_steps=3, nx=8)
+        sim.run(3)
+        timers = dict(kernel_timings())
+    native = [k for k in timers if "native_push" in k]
+    assert native, f"no native_push span in {sorted(timers)}"
+    assert timers[native[0]].launches >= 3
+    assert hist.count > before
