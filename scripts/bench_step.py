@@ -30,6 +30,7 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 OUT_PATH = REPO / "BENCH_5.json"
+WHOLE_STEP_OUT_PATH = REPO / "BENCH_7.json"
 
 #: (deck key, measured steps) — the big decks use fewer timed steps.
 DECKS = (
@@ -98,12 +99,116 @@ def bench_deck(name: str, steps: int, repeats: int = 3) -> dict:
     }
 
 
+def bench_deck_whole_step(name: str, steps: int,
+                          repeats: int = 3) -> dict:
+    """Best-of-*repeats* whole-step lane vs push lane vs reference
+    for one deck, with the native per-phase fold (field / push / sort
+    milliseconds spent inside the C step) of the winning run."""
+    from repro.bench.push_bench import measure_step_throughput
+    from repro.core.tuning import StepPlan
+
+    plans = (
+        ("reference", StepPlan.reference_plan()),
+        ("push", StepPlan(native=True, native_scope="push")),
+        ("step", StepPlan(native=True, native_scope="step")),
+    )
+    best: dict[str, dict] = {}
+    for plan_name, plan in plans:
+        for _ in range(repeats):
+            r = measure_step_throughput(_deck(name), steps=steps,
+                                        warm=max(2, steps // 6),
+                                        plan=plan)
+            if (plan_name not in best
+                    or r["seconds_per_step"]
+                    < best[plan_name]["seconds_per_step"]):
+                best[plan_name] = r
+    ref, push, whole = best["reference"], best["push"], best["step"]
+    kern = whole["kernel_ms_per_step"]
+    phases = {
+        "field_ms": round(kern.get("step/field_solve", 0.0), 4),
+        "push_ms": round(sum(v for k, v in kern.items()
+                             if "native_push" in k), 4),
+        "sort_ms": round(kern.get("step/sort/native", 0.0), 4),
+    }
+    return {
+        "steps": steps,
+        "repeats": repeats,
+        "particles": whole["particles"],
+        "lane": whole["lane"],
+        "reference_seconds_per_step": round(
+            ref["seconds_per_step"], 6),
+        "push_lane_seconds_per_step": round(
+            push["seconds_per_step"], 6),
+        "whole_step_seconds_per_step": round(
+            whole["seconds_per_step"], 6),
+        "whole_step_particles_per_second": round(
+            whole["particles_per_second"]),
+        "speedup_vs_reference": round(
+            ref["seconds_per_step"] / whole["seconds_per_step"], 3),
+        "speedup_vs_push_lane": round(
+            push["seconds_per_step"] / whole["seconds_per_step"], 3),
+        "native_phase_ms_per_step": phases,
+    }
+
+
+def run_whole_step(args) -> int:
+    """``--whole-step``: record BENCH_7.json (ISSUE 7)."""
+    from repro.core.tuning import StepPlan
+    from repro.vpic.native import native_status
+
+    bench5 = (json.loads(OUT_PATH.read_text())
+              if OUT_PATH.exists() else None)
+    print(f"step plan: {StepPlan()}")
+    print(f"native lane: {native_status()}")
+    decks = {}
+    for name, steps in DECKS:
+        r = bench_deck_whole_step(name, steps, repeats=args.repeats)
+        if bench5 is not None and name in bench5.get("decks", {}):
+            fast5 = float(
+                bench5["decks"][name]["fast_seconds_per_step"])
+            r["bench5_fast_seconds_per_step"] = fast5
+            r["speedup_vs_bench5_fast"] = round(
+                fast5 / r["whole_step_seconds_per_step"], 3)
+        decks[name] = r
+        ph = r["native_phase_ms_per_step"]
+        b5 = r.get("speedup_vs_bench5_fast")
+        print(f"{name:14s} ref {r['reference_seconds_per_step']*1e3:8.2f}"
+              f"  push {r['push_lane_seconds_per_step']*1e3:8.2f}"
+              f"  whole {r['whole_step_seconds_per_step']*1e3:8.2f} ms/step"
+              f"  {r['speedup_vs_reference']:5.2f}x ref"
+              + (f"  {b5:5.2f}x bench5-fast" if b5 else "")
+              + f"  [field {ph['field_ms']:.3f} push {ph['push_ms']:.3f}"
+              f" sort {ph['sort_ms']:.3f} ms]  lane={r['lane']}")
+
+    record = {
+        "benchmark": "whole_step_throughput",
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "git_head": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "native_status": native_status(),
+        "decks": decks,
+    }
+    if args.check:
+        return 0
+    WHOLE_STEP_OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"baseline -> {WHOLE_STEP_OUT_PATH}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--check", action="store_true",
                         help="print timings without rewriting baselines")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--whole-step", action="store_true",
+                        help="benchmark the whole-step native lane "
+                             "against the push lane and reference, "
+                             "writing BENCH_7.json")
     args = parser.parse_args(argv)
+
+    if args.whole_step:
+        return run_whole_step(args)
 
     from repro.core.tuning import StepPlan
     from repro.vpic.native import native_status

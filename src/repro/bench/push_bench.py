@@ -139,10 +139,20 @@ def measure_step_throughput(deck, steps: int = 10, warm: int = 2,
         kernels = {label: timer.seconds * 1e3 / steps
                    for label, timer in sorted(kernel_timings().items())}
     sec_per_step = elapsed / steps
+    if sim.step_plan.reference:
+        lane = "reference"
+    elif sim._native_step_ok():
+        lane = "native-step"
+    elif (sim._fast_step_ok() and sim.step_plan.native
+          and native_available()):
+        lane = "native-push"
+    else:
+        lane = "numpy-fused"
     return {
         "deck": deck.name,
         "plan": str(sim.step_plan),
         "reference": bool(sim.step_plan.reference),
+        "lane": lane,
         "native_used": bool(sim._fast_step_ok()
                             and sim.step_plan.native
                             and native_available()),

@@ -77,6 +77,14 @@ class StepPlan:
     bin_deposit: bool = True    # segment-reduction deposition
     fused: bool = True          # tiled zero-allocation fused push
     native: bool = True         # compiled kernel when a compiler exists
+    #: How much of the step the compiled lane covers when ``native``:
+    #: ``"step"`` enters C once per timestep (Yee solve + ghost
+    #: handling + fused push + counting sort); ``"push"`` is the PR 5
+    #: per-species push kernel only. Selection degrades gracefully at
+    #: runtime: step -> push (when a step-ineligible feature like an
+    #: absorbing boundary or live tooling is present) -> numpy (no
+    #: compiler).
+    native_scope: str = "step"
     threaded_ranks: bool = True  # concurrent rank kernels (distributed)
     tile_size: int = STEP_TILE
     reason: str = "default fast path"
@@ -90,9 +98,10 @@ class StepPlan:
     def __str__(self) -> str:
         if self.reference:
             return f"reference ({self.reason})"
+        native_part = f"native-{self.native_scope}"
         parts = [p for p, on in (("bin-deposit", self.bin_deposit),
                                  ("fused", self.fused),
-                                 ("native", self.native),
+                                 (native_part, self.native),
                                  ("threaded-ranks", self.threaded_ranks))
                  if on]
         return f"fast[{'+'.join(parts)}] tile={self.tile_size} ({self.reason})"

@@ -28,6 +28,7 @@ __all__ = [
     "profiling_region",
     "profiling_session",
     "record_kernel",
+    "add_kernel_time",
     "KernelTimer",
     "kernel_timings",
     "reset_kernel_timings",
@@ -118,6 +119,21 @@ def record_kernel(label: str, kind: str = "kernel") -> Iterator[None]:
         timer.add(dt)
         if active:
             _tools.dispatch_end_kernel(kind, key, kid, dt)
+
+
+def add_kernel_time(label: str, seconds: float) -> None:
+    """Credit *seconds* to *label* under the current region path.
+
+    For work whose duration was measured elsewhere — the whole-step
+    native lane times its field/push/sort phases inside C and reports
+    them back here — so phase attribution stays complete even when
+    Python never wraps the individual kernels.
+    """
+    key = _qualified(label)
+    timer = _timers.get(key)
+    if timer is None:
+        timer = _timers[key] = KernelTimer(key)
+    timer.add(seconds)
 
 
 def kernel_timings() -> dict[str, KernelTimer]:

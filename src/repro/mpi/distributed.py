@@ -30,12 +30,14 @@ from repro.mpi.particle_exchange import migrate_particles
 from repro.observability.callbacks import tools_active
 from repro.observability.rank_profile import rank_activity
 from repro.vpic.boris import advance_positions, boris_push
-from repro.vpic.deck import Deck
+from repro.vpic.deck import Deck, DepositionKind
 from repro.vpic.deposit import deposit_current
+from repro.vpic.fastpath import fused_push_species
 from repro.vpic.fields import FieldArrays, FieldSolver
 from repro.vpic.grid import Grid
 from repro.vpic.interpolate import gather_fields
 from repro.vpic.particles import load_maxwellian, load_uniform
+from repro.vpic.scratch import ScratchArena
 from repro.vpic.species import Species
 
 __all__ = ["DistributedSimulation", "RankState"]
@@ -59,6 +61,9 @@ class RankState:
     fields: FieldArrays
     solver: FieldSolver
     species: list[Species]
+    #: Per-rank scratch for the fused push lane — ranks step
+    #: concurrently, so scratch must never be shared across them.
+    arena: ScratchArena = field(default_factory=ScratchArena)
 
 
 class DistributedSimulation:
@@ -210,12 +215,33 @@ class DistributedSimulation:
                 thread_name_prefix="rank-step")
         list(self._pool.map(fn, self.ranks))
 
+    def _fused_push_ok(self) -> bool:
+        """Whether ranks may push through the fused lane.
+
+        Positions and momenta are bit-identical to the reference
+        kernel sequence (no wrap is involved — migration handles
+        boundaries); deposited currents agree to 1 ulp (float64
+        accumulation instead of the reference's float32).
+        """
+        return (not self.plan.reference and self.plan.fused
+                and self.deck.deposition is DepositionKind.CIC)
+
     def _rank_push(self, rs: RankState) -> None:
-        """One rank's particle phase (reference kernel sequence)."""
+        """One rank's particle phase.
+
+        The fused (optionally native) lane when the plan allows —
+        positions are left unwrapped for the migration phase — and the
+        reference kernel sequence otherwise.
+        """
+        fused = self._fused_push_ok()
         for sp in rs.species:
             if sp.n == 0:
                 continue
             with rank_activity(rs.rank, f"push/{sp.name}"):
+                if fused:
+                    fused_push_species(rs.fields, sp, rs.arena,
+                                       self.plan, wrap=False)
+                    continue
                 x, y, z = sp.positions()
                 ux, uy, uz = sp.momenta()
                 ex, ey, ez, bx, by, bz = gather_fields(
@@ -240,18 +266,35 @@ class DistributedSimulation:
         no tool attached the markers are a shared no-op context.
         """
 
+        # Field advances go through the native Yee kernels when the
+        # plan allows and a compiled lane exists (bit-identical to the
+        # numpy solver; under external_ghosts no sync is involved).
+        # The ctypes calls release the GIL, so threaded ranks overlap
+        # their field updates too.
+        use_native = not self.plan.reference and self.plan.native
+        if use_native:
+            from repro.vpic import native as _native
+        else:
+            _native = None
+
         def half_b_and_clear(rs: RankState) -> None:
             with rank_activity(rs.rank, "field/advance_b"):
-                rs.solver.advance_b(0.5)
+                if _native is None or not _native.field_advance_b(
+                        rs.solver, 0.5):
+                    rs.solver.advance_b(0.5)
                 rs.fields.clear_currents()
 
         def half_b(rs: RankState) -> None:
             with rank_activity(rs.rank, "field/advance_b"):
-                rs.solver.advance_b(0.5)
+                if _native is None or not _native.field_advance_b(
+                        rs.solver, 0.5):
+                    rs.solver.advance_b(0.5)
 
         def full_e(rs: RankState) -> None:
             with rank_activity(rs.rank, "field/advance_e"):
-                rs.solver.advance_e(1.0)
+                if _native is None or not _native.field_advance_e(
+                        rs.solver, 1.0):
+                    rs.solver.advance_e(1.0)
 
         t0 = time.perf_counter()
         self._exchange_fields(_E_NAMES + _B_NAMES)

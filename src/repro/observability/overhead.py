@@ -179,8 +179,11 @@ def measure_profile_overhead(deck=None, n_ranks: int = 2,
         # Big enough that the kernels carry real work: on a toy grid
         # the fixed per-event hook cost dominates and the fraction
         # measures Python dispatch, not the profiler's marginal cost.
+        # Sized against the fused+native rank step (per-kernel hook
+        # counts don't scale with particles, so a deck the old numpy
+        # path made "big" is toy-sized for the compiled lane).
         from repro.vpic.workloads import uniform_plasma_deck
-        deck = uniform_plasma_deck(nx=16, ny=16, nz=16, ppc=8,
+        deck = uniform_plasma_deck(nx=24, ny=24, nz=24, ppc=16,
                                    num_steps=steps)
 
     with profiling_session():

@@ -341,7 +341,7 @@ class ContinuityCheck(InvariantCheck):
         # the periodic interior (dead state for the field solve, so
         # mutating it here is safe).
         from repro.vpic.fields import FieldSolver
-        FieldSolver(sim.fields).sync_periodic(("jx", "jy", "jz"))
+        FieldSolver(sim.fields).sync_currents()
         residual = continuity_residual(sim.grid, self._rho_old, rho_new,
                                        sim.fields, sim.grid.dt)
         self._rho_old = None

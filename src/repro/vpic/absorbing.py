@@ -136,8 +136,8 @@ class AbsorbingFieldSolver(FieldSolver):
                 arr[:, :, 0] = arr[:, :, g.nz]
                 arr[:, :, g.nz + 1] = arr[:, :, 1]
 
-    def advance_b(self, frac: float = 0.5) -> None:
-        super().advance_b(frac)
+    def advance_b(self, frac: float = 0.5, sync: bool = True) -> None:
+        super().advance_b(frac, sync=sync)
         self.mur.apply_b()
 
     def advance_e(self, frac: float = 1.0) -> None:

@@ -63,17 +63,9 @@ def _native_push(fields, sp, arena, wrap):
     kernel = native_push_kernel()
     if kernel is None:
         return False
-    g = fields.grid
-    nv = g.n_voxels
-    table = build_field_table(fields, arena)
-    acc = [arena.zeros(f"j_acc{a}", nv, np.float64) for a in range(3)]
-    x, y, z = sp.positions()
-    ux, uy, uz = sp.momenta()
-    kernel.push(x, y, z, ux, uy, uz, sp.live("w"), table,
-                acc[0], acc[1], acc[2], g,
-                qdt_2m=0.5 * sp.q * g.dt / sp.m,
-                inv_vol=sp.q / g.cell_volume, wrap=wrap)
-    _fold_currents(fields, acc, arena)
+    # Table build, accumulator zeroing, push, and J fold all happen
+    # inside the compiled lane (one ctypes round-trip per species).
+    kernel.push_species(fields, sp, arena, wrap)
     return True
 
 

@@ -1,22 +1,43 @@
-"""Optional compiled fast lane for the fused CIC push.
+"""Compiled native lane: fused push, whole-step, and batched stepping.
 
 The paper's §5.3 comparison point is hand-tuned native code; this
-module provides exactly that lane for the hot loop. At first use it
-compiles a single-pass C kernel (gather -> Boris -> deposit ->
-advance -> wrap, one trip through memory per particle) with the
-system C compiler and binds it through :mod:`ctypes`. The build is
-strict-IEEE (``-fno-fast-math -ffp-contract=off``) and the C code
+module provides that lane for the hot loop at two scopes:
+
+- **push scope** (PR 5): a single-pass C kernel for the fused
+  particle phase (gather -> Boris -> deposit -> advance -> wrap),
+  one trip through memory per particle;
+- **step scope** (this PR): one C entry per *timestep* that also
+  performs the Yee field solve (half ``advance_b``, ``advance_e``,
+  half ``advance_b``), periodic ghost sync, the ghost-current fold,
+  and the in-place counting sort when the sort policy says so — so
+  the residual numpy passes BENCH_5 exposed (``step/field_solve``,
+  ``step/sort/*``) disappear from the per-step budget.
+
+On top of the step scope sits :func:`step_batch`: N independent
+decks advanced in one native call over their packed arenas (the
+``run-deck --batch`` surface), round-robin per step.
+
+Everything keeps the strict-IEEE bit-identity contract: the C code
 performs the *same float32 operations in the same order* as the
-reference numpy kernels, so positions and momenta are bit-identical
-to the reference path; current deposition accumulates in float64
-(particle-major instead of numpy's corner-major, so the folded
-float32 currents agree to 1 ulp).
+reference numpy kernels, built with ``-fno-fast-math
+-ffp-contract=off`` so nothing is contracted into FMAs. The build
+also passes ``-fno-math-errno``: with errno-setting enabled the
+compiler must treat every ``sqrtf``/``floorf`` call as potentially
+writing errno and cannot vectorize the surrounding loop; disabling
+it changes *no* IEEE results (the bit-identity tests pin this), only
+an error-reporting channel nobody reads. Current deposition
+accumulates in float64 (particle-major instead of numpy's
+corner-major, so the folded float32 currents agree to 1 ulp). The
+counting sort is stable, so it reproduces
+``np.argsort(voxels, kind="stable")`` — the ``SortKind.STANDARD``
+permutation — exactly.
 
 Everything degrades gracefully: no compiler, no writable cache
-directory, or a failed build simply mean :func:`native_push_kernel`
-returns ``None`` and the portable numpy fast path runs instead. The
-compiled object is cached on disk (keyed by a hash of source +
-flags), so later processes pay nothing.
+directory, or a failed build simply mean the kernel getters return
+``None`` and callers fall back (step scope -> push scope -> numpy).
+Build products are cached on disk keyed by a hash of source + flags
++ compiler; :func:`native_status` always reports the *most recent*
+build attempt, including that cache key.
 """
 
 from __future__ import annotations
@@ -27,20 +48,81 @@ import os
 import shutil
 import subprocess
 import threading
+import time
 from pathlib import Path
 
-__all__ = ["native_push_kernel", "native_available", "native_status"]
+import numpy as np
+
+__all__ = [
+    "native_push_kernel",
+    "native_available",
+    "native_status",
+    "native_build_key",
+    "rebuild",
+    "step_simulation",
+    "step_batch",
+    "field_advance_b",
+    "field_advance_e",
+]
 
 _SOURCE = r"""
-/* Fused CIC push: gather -> Boris -> deposit -> advance -> wrap.
+/* Native step lane: fused CIC push + Yee solve + ghost handling +
+ * counting sort, one translation unit.
+ *
  * Float sequence matches the numpy reference kernels exactly (IEEE
  * single ops in reference order; build with -fno-fast-math
- * -ffp-contract=off so the compiler contracts nothing into FMAs).
+ * -ffp-contract=off so the compiler contracts nothing into FMAs;
+ * -fno-math-errno only unblocks vectorization of sqrtf/floorf and
+ * changes no values). The push is staged over tiles so every
+ * elementwise stage auto-vectorizes: padded 8-float field-table rows
+ * for an SLP trilinear gather, an interleaved 4-double accumulator
+ * for a 4-lane deposit.
  */
 #include <stdint.h>
+#include <string.h>
 #include <math.h>
+#include <time.h>
 
-static inline float wrapf(float v, float L) {
+#define TILE 1024
+
+typedef struct {
+    float *x, *y, *z, *ux, *uy, *uz, *w;
+    int64_t *voxel, *tag;
+    int64_t n;
+    float qdt, inv_vol;
+} NSpecies;
+
+typedef struct {
+    /* geometry */
+    int64_t nx, ny, nz, sy, sz, nv;
+    double hx, hy, hz;              /* index clip highs: n - 1e-9 */
+    double x0, y0, z0, dx, dy, dz;  /* f64 origin/cell for indexing */
+    float fx0, fy0, fz0, fdx, fdy, fdz, flx, fly, flz;
+    float fdt, fdt_hb, fdt_e;       /* f32 dt, 0.5*dt, 1.0*dt */
+    /* fields (ghost-inclusive C-order flats) */
+    float *ex, *ey, *ez, *bx, *by, *bz, *jx, *jy, *jz;
+    /* species */
+    NSpecies *species;
+    int64_t n_species;
+    /* sort policy: interval 0 = never sort natively */
+    int64_t sort_interval, step_count, sorts_done;
+    /* scratch */
+    float *tab;        /* (nv, 8) padded field table */
+    double *acc;       /* (nv, 4) interleaved f64 current accumulator */
+    int64_t *counts;   /* (nv + 1) */
+    int64_t *perm, *scr_i;  /* (max particles) */
+    float *scr_f;           /* (max particles) */
+    /* accumulated phase seconds (field / push / sort) */
+    double t_field, t_push, t_sort;
+} NDeck;
+
+static double now_s(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec;
+}
+
+static inline float wrapf_(float v, float L) {
     /* np.mod (floored) for positive modulus */
     float r = fmodf(v, L);
     if (r != 0.0f && (r < 0.0f) != (L < 0.0f))
@@ -48,146 +130,709 @@ static inline float wrapf(float v, float L) {
     return r;
 }
 
-void push_tile(
-    float *x, float *y, float *z,
-    float *ux, float *uy, float *uz,
-    const float *w, int64_t n,
-    const float *tab,            /* (nv, 6): ex ey ez bx by bz */
-    double *jxa, double *jya, double *jza,   /* (nv,) f64 accumulators */
-    int64_t sy, int64_t sz,
-    double hx, double hy, double hz,         /* index clip highs */
-    double x0, double y0, double z0,
-    double dx, double dy, double dz,
-    float fx0, float fy0, float fz0,         /* f32 origins */
-    float fdx, float fdy, float fdz,         /* f32 cell sizes */
-    float lx, float ly, float lz,            /* box lengths */
-    float qdt, float fdt, float inv_vol,
-    int do_wrap)
+/* ---- fused particle push (tiled, SLP-friendly) ------------------- */
+
+static void push_core(const NDeck *g,
+                      float *restrict x, float *restrict y,
+                      float *restrict z, float *restrict ux,
+                      float *restrict uy, float *restrict uz,
+                      const float *restrict w, int64_t n,
+                      float qdt, float inv_vol,
+                      const float *restrict tab,
+                      double *restrict acc, int do_wrap)
 {
-    const int64_t shift = (sy + 1) * sz + 1;
-    for (int64_t i = 0; i < n; i++) {
-        float xi = x[i], yi = y[i], zi = z[i];
-        /* cell indices: float64 chain, trunc, +1 folded into shift */
-        double px = ((double)xi - x0) / dx;
-        double py = ((double)yi - y0) / dy;
-        double pz = ((double)zi - z0) / dz;
-        px = px < 0.0 ? 0.0 : (px > hx ? hx : px);
-        py = py < 0.0 ? 0.0 : (py > hy ? hy : py);
-        pz = pz < 0.0 ? 0.0 : (pz > hz ? hz : pz);
-        int64_t base = (((int64_t)px * sy + (int64_t)py) * sz
-                        + (int64_t)pz) + shift;
-        /* fractions: float32 chain */
-        float tx_ = (xi - fx0) / fdx;
-        float ty_ = (yi - fy0) / fdy;
-        float tz_ = (zi - fz0) / fdz;
-        float fx = tx_ - floorf(tx_);
-        float fy = ty_ - floorf(ty_);
-        float fz = tz_ - floorf(tz_);
-        float gx = 1.0f - fx, gy = 1.0f - fy, gz = 1.0f - fz;
-        /* gather + factored trilinear from the interleaved table */
-        const float *t000 = tab + 6 * base;
-        const float *t001 = tab + 6 * (base + 1);
-        const float *t010 = tab + 6 * (base + sz);
-        const float *t011 = tab + 6 * (base + sz + 1);
-        const float *t100 = tab + 6 * (base + sy * sz);
-        const float *t101 = tab + 6 * (base + sy * sz + 1);
-        const float *t110 = tab + 6 * (base + sy * sz + sz);
-        const float *t111 = tab + 6 * (base + sy * sz + sz + 1);
-        float eb[6];
-        for (int c = 0; c < 6; c++) {
-            float c00 = t000[c] * gz + t001[c] * fz;
-            float c01 = t010[c] * gz + t011[c] * fz;
-            float c10 = t100[c] * gz + t101[c] * fz;
-            float c11 = t110[c] * gz + t111[c] * fz;
-            float c0 = c00 * gy + c01 * fy;
-            float c1 = c10 * gy + c11 * fy;
-            eb[c] = c0 * gx + c1 * fx;
+    const int64_t gsy = g->sy, gsz = g->sz;
+    const int64_t shift = (gsy + 1) * gsz + 1;
+    const double hx = g->hx, hy = g->hy, hz = g->hz;
+    const double x0 = g->x0, y0 = g->y0, z0 = g->z0;
+    const double dx = g->dx, dy = g->dy, dz = g->dz;
+    const float fdt = g->fdt;
+    const int64_t coff[8] = {
+        0, gsy * gsz, gsz, gsy * gsz + gsz,
+        1, gsy * gsz + 1, gsz + 1, gsy * gsz + gsz + 1 };
+    int64_t base[TILE];
+    float fr[3][TILE], gr[3][TILE];
+    float ebaos[TILE][8] __attribute__((aligned(64)));
+    float eb[6][TILE];
+    float g2[TILE];
+    float wt8[8][TILE];
+    float jp[3][TILE];
+
+    for (int64_t s = 0; s < n; s += TILE) {
+        int64_t t = n - s < TILE ? n - s : TILE;
+        float *restrict xs0 = x + s, *restrict xs1 = y + s,
+              *restrict xs2 = z + s;
+        float *restrict u0 = ux + s, *restrict u1 = uy + s,
+              *restrict u2 = uz + s;
+        const float *restrict ws = w + s;
+        /* cell indices: f64 chain (Grid.cell_of_position) */
+        for (int64_t i = 0; i < t; i++) {
+            double px = ((double)xs0[i] - x0) / dx;
+            double py = ((double)xs1[i] - y0) / dy;
+            double pz = ((double)xs2[i] - z0) / dz;
+            px = px < 0.0 ? 0.0 : (px > hx ? hx : px);
+            py = py < 0.0 ? 0.0 : (py > hy ? hy : py);
+            pz = pz < 0.0 ? 0.0 : (pz > hz ? hz : pz);
+            base[i] = (((int64_t)px * gsy + (int64_t)py) * gsz
+                       + (int64_t)pz) + shift;
         }
-        float ex = eb[0], ey = eb[1], ez = eb[2];
-        float bx = eb[3], by = eb[4], bz = eb[5];
-        /* Boris push (reference op order) */
-        float umx = ux[i] + qdt * ex;
-        float umy = uy[i] + qdt * ey;
-        float umz = uz[i] + qdt * ez;
-        float gam = sqrtf(1.0f + umx * umx + umy * umy + umz * umz);
-        float tx = qdt * bx / gam;
-        float ty = qdt * by / gam;
-        float tz = qdt * bz / gam;
-        float t2 = tx * tx + ty * ty + tz * tz;
-        float sx = 2.0f * tx / (1.0f + t2);
-        float sy_ = 2.0f * ty / (1.0f + t2);
-        float sz_ = 2.0f * tz / (1.0f + t2);
-        float upx = umx + (umy * tz - umz * ty);
-        float upy = umy + (umz * tx - umx * tz);
-        float upz = umz + (umx * ty - umy * tx);
-        float plx = umx + (upy * sz_ - upz * sy_);
-        float ply = umy + (upz * sx - upx * sz_);
-        float plz = umz + (upx * sy_ - upy * sx);
-        float nux = plx + qdt * ex;
-        float nuy = ply + qdt * ey;
-        float nuz = plz + qdt * ez;
-        ux[i] = nux; uy[i] = nuy; uz[i] = nuz;
-        /* post-push gamma, computed once and shared by deposit+move */
-        float gam2 = sqrtf(1.0f + nux * nux + nuy * nuy + nuz * nuz);
-        /* deposit: CIC weights * time-centered current, f64 accumulate */
-        float wi = w[i];
-        float jpx = wi * nux / gam2 * inv_vol;
-        float jpy = wi * nuy / gam2 * inv_vol;
-        float jpz = wi * nuz / gam2 * inv_vol;
-        float wt[8];
-        wt[0] = gx * gy * gz; wt[1] = fx * gy * gz;
-        wt[2] = gx * fy * gz; wt[3] = fx * fy * gz;
-        wt[4] = gx * gy * fz; wt[5] = fx * gy * fz;
-        wt[6] = gx * fy * fz; wt[7] = fx * fy * fz;
-        int64_t vox[8];
-        vox[0] = base;                 vox[1] = base + sy * sz;
-        vox[2] = base + sz;            vox[3] = base + sy * sz + sz;
-        vox[4] = base + 1;             vox[5] = base + sy * sz + 1;
-        vox[6] = base + sz + 1;        vox[7] = base + sy * sz + sz + 1;
-        for (int k = 0; k < 8; k++) {
-            jxa[vox[k]] += (double)(wt[k] * jpx);
-            jya[vox[k]] += (double)(wt[k] * jpy);
-            jza[vox[k]] += (double)(wt[k] * jpz);
+        /* in-cell fractions: f32 chain (Grid.cell_fraction) */
+        {
+            const float o[3] = { g->fx0, g->fy0, g->fz0 };
+            const float dl[3] = { g->fdx, g->fdy, g->fdz };
+            float *restrict ps[3] = { xs0, xs1, xs2 };
+            for (int a = 0; a < 3; a++) {
+                const float oo = o[a], dd = dl[a];
+                const float *restrict p = ps[a];
+                float *restrict f = fr[a], *restrict gg = gr[a];
+                for (int64_t i = 0; i < t; i++) {
+                    float v = (p[i] - oo) / dd;
+                    float fv = v - floorf(v);
+                    f[i] = fv;
+                    gg[i] = 1.0f - fv;
+                }
+            }
+        }
+        /* gather + factored trilinear: 8-lane row ops (lanes 6,7 pad) */
+        for (int64_t i = 0; i < t; i++) {
+            int64_t b8 = base[i] * 8;
+            const float *restrict t000 = tab + b8;
+            const float *restrict t001 = tab + b8 + 8;
+            const float *restrict t010 = tab + b8 + gsz * 8;
+            const float *restrict t011 = tab + b8 + gsz * 8 + 8;
+            const float *restrict t100 = tab + b8 + gsy * gsz * 8;
+            const float *restrict t101 = tab + b8 + gsy * gsz * 8 + 8;
+            const float *restrict t110 = tab + b8 + (gsy * gsz + gsz) * 8;
+            const float *restrict t111 = tab + b8
+                                         + (gsy * gsz + gsz) * 8 + 8;
+            float fx = fr[0][i], fy = fr[1][i], fz = fr[2][i];
+            float gx = gr[0][i], gy = gr[1][i], gz = gr[2][i];
+            float c00[8], c01[8], c10[8], c11[8], c0[8], c1[8];
+            for (int c = 0; c < 8; c++) {
+                c00[c] = t000[c] * gz + t001[c] * fz;
+                c01[c] = t010[c] * gz + t011[c] * fz;
+                c10[c] = t100[c] * gz + t101[c] * fz;
+                c11[c] = t110[c] * gz + t111[c] * fz;
+            }
+            for (int c = 0; c < 8; c++) {
+                c0[c] = c00[c] * gy + c01[c] * fy;
+                c1[c] = c10[c] * gy + c11[c] * fy;
+            }
+            for (int c = 0; c < 8; c++)
+                ebaos[i][c] = c0[c] * gx + c1[c] * fx;
+        }
+        /* AoS -> SoA transpose of the six live components */
+        for (int c = 0; c < 6; c++) {
+            float *restrict dst = eb[c];
+            for (int64_t i = 0; i < t; i++)
+                dst[i] = ebaos[i][c];
+        }
+        /* Boris push + post-push gamma + per-particle current */
+        {
+            const float *restrict exv = eb[0], *restrict eyv = eb[1],
+                        *restrict ezv = eb[2];
+            const float *restrict bxv = eb[3], *restrict byv = eb[4],
+                        *restrict bzv = eb[5];
+            float *restrict jp0 = jp[0], *restrict jp1 = jp[1],
+                  *restrict jp2 = jp[2];
+            for (int64_t i = 0; i < t; i++) {
+                float umx = u0[i] + qdt * exv[i];
+                float umy = u1[i] + qdt * eyv[i];
+                float umz = u2[i] + qdt * ezv[i];
+                float gam = sqrtf(1.0f + umx * umx + umy * umy
+                                  + umz * umz);
+                float tx = qdt * bxv[i] / gam;
+                float ty = qdt * byv[i] / gam;
+                float tz = qdt * bzv[i] / gam;
+                float t2 = tx * tx + ty * ty + tz * tz;
+                float svx = 2.0f * tx / (1.0f + t2);
+                float svy = 2.0f * ty / (1.0f + t2);
+                float svz = 2.0f * tz / (1.0f + t2);
+                float upx = umx + (umy * tz - umz * ty);
+                float upy = umy + (umz * tx - umx * tz);
+                float upz = umz + (umx * ty - umy * tx);
+                float plx = umx + (upy * svz - upz * svy);
+                float ply = umy + (upz * svx - upx * svz);
+                float plz = umz + (upx * svy - upy * svx);
+                float nux = plx + qdt * exv[i];
+                float nuy = ply + qdt * eyv[i];
+                float nuz = plz + qdt * ezv[i];
+                u0[i] = nux; u1[i] = nuy; u2[i] = nuz;
+                float gam2 = sqrtf(1.0f + nux * nux + nuy * nuy
+                                   + nuz * nuz);
+                g2[i] = gam2;
+                float wi = ws[i];
+                jp0[i] = wi * nux / gam2 * inv_vol;
+                jp1[i] = wi * nuy / gam2 * inv_vol;
+                jp2[i] = wi * nuz / gam2 * inv_vol;
+            }
+        }
+        /* CIC corner weights (cic_weights order) */
+        for (int64_t i = 0; i < t; i++) {
+            float fx = fr[0][i], fy = fr[1][i], fz = fr[2][i];
+            float gx = gr[0][i], gy = gr[1][i], gz = gr[2][i];
+            float w0 = gx * gy, w1 = fx * gy, w2 = gx * fy,
+                  w3 = fx * fy;
+            wt8[0][i] = w0 * gz; wt8[1][i] = w1 * gz;
+            wt8[2][i] = w2 * gz; wt8[3][i] = w3 * gz;
+            wt8[4][i] = w0 * fz; wt8[5][i] = w1 * fz;
+            wt8[6][i] = w2 * fz; wt8[7][i] = w3 * fz;
+        }
+        /* deposit: 4-lane f64 accumulate per corner */
+        for (int64_t i = 0; i < t; i++) {
+            int64_t b = base[i];
+            float jpx = jp[0][i], jpy = jp[1][i], jpz = jp[2][i];
+            for (int k = 0; k < 8; k++) {
+                double *restrict a = acc + (b + coff[k]) * 4;
+                float wk = wt8[k][i];
+                a[0] += (double)(wk * jpx);
+                a[1] += (double)(wk * jpy);
+                a[2] += (double)(wk * jpz);
+            }
         }
         /* advance + (optional) periodic wrap */
-        float inv = fdt / gam2;
-        xi += nux * inv;
-        yi += nuy * inv;
-        zi += nuz * inv;
-        if (do_wrap) {
-            /* fmodf only for escaped particles: for 0 <= r < L the
-             * reference's mod is the identity, so skipping it is
-             * bit-exact (callers guarantee a zero origin). */
-            float rx = xi - fx0, ry = yi - fy0, rz = zi - fz0;
-            if (rx < 0.0f || rx >= lx) xi = wrapf(rx, lx) + fx0;
-            if (ry < 0.0f || ry >= ly) yi = wrapf(ry, ly) + fy0;
-            if (rz < 0.0f || rz >= lz) zi = wrapf(rz, lz) + fz0;
+        {
+            float *restrict ps[3] = { xs0, xs1, xs2 };
+            float *restrict us[3] = { u0, u1, u2 };
+            for (int a = 0; a < 3; a++) {
+                float *restrict p = ps[a];
+                const float *restrict u = us[a];
+                for (int64_t i = 0; i < t; i++)
+                    p[i] += u[i] * (fdt / g2[i]);
+            }
+            if (do_wrap) {
+                /* fmodf only for escaped particles: for 0 <= r < L
+                 * the reference's mod is the identity, so skipping
+                 * it is bit-exact (callers guarantee a zero origin). */
+                const float L[3] = { g->flx, g->fly, g->flz };
+                const float o[3] = { g->fx0, g->fy0, g->fz0 };
+                for (int a = 0; a < 3; a++) {
+                    float *restrict p = ps[a];
+                    const float oo = o[a], len = L[a];
+                    for (int64_t i = 0; i < t; i++) {
+                        float r = p[i] - oo;
+                        if (r < 0.0f || r >= len)
+                            p[i] = wrapf_(r, len) + oo;
+                    }
+                }
+            }
         }
-        x[i] = xi; y[i] = yi; z[i] = zi;
     }
+}
+
+static void fold_core(const NDeck *g) {
+    /* single f32 cast per element, then add — matches the numpy
+     * per-species fold (cast once, then J += acc32) elementwise */
+    const int64_t nv = g->nv;
+    const double *restrict acc = g->acc;
+    float *restrict jx = g->jx, *restrict jy = g->jy,
+          *restrict jz = g->jz;
+    for (int64_t v = 0; v < nv; v++) {
+        jx[v] += (float)acc[v * 4 + 0];
+        jy[v] += (float)acc[v * 4 + 1];
+        jz[v] += (float)acc[v * 4 + 2];
+    }
+}
+
+void build_table(const float *ex, const float *ey, const float *ez,
+                 const float *bx, const float *by, const float *bz,
+                 float *tab, int64_t nv)
+{
+    for (int64_t v = 0; v < nv; v++) {
+        float *r = tab + v * 8;
+        r[0] = ex[v]; r[1] = ey[v]; r[2] = ez[v];
+        r[3] = bx[v]; r[4] = by[v]; r[5] = bz[v];
+        r[6] = 0.0f; r[7] = 0.0f;
+    }
+}
+
+/* Push-scope entry: zero the accumulator, push one species, fold
+ * into J. Flat-argument twin of the in-step species loop. */
+void fused_push(
+    float *x, float *y, float *z, float *ux, float *uy, float *uz,
+    const float *w, int64_t n, const float *tab, double *acc,
+    float *jx, float *jy, float *jz,
+    int64_t nv, int64_t sy, int64_t sz,
+    double hx, double hy, double hz,
+    double x0, double y0, double z0,
+    double dx, double dy, double dz,
+    float fx0, float fy0, float fz0,
+    float fdx, float fdy, float fdz,
+    float flx, float fly, float flz,
+    float qdt, float fdt, float inv_vol, int do_wrap)
+{
+    NDeck g;
+    memset(&g, 0, sizeof(g));
+    g.sy = sy; g.sz = sz; g.nv = nv;
+    g.hx = hx; g.hy = hy; g.hz = hz;
+    g.x0 = x0; g.y0 = y0; g.z0 = z0;
+    g.dx = dx; g.dy = dy; g.dz = dz;
+    g.fx0 = fx0; g.fy0 = fy0; g.fz0 = fz0;
+    g.fdx = fdx; g.fdy = fdy; g.fdz = fdz;
+    g.flx = flx; g.fly = fly; g.flz = flz;
+    g.fdt = fdt;
+    g.jx = jx; g.jy = jy; g.jz = jz;
+    g.acc = acc;
+    memset(acc, 0, (size_t)nv * 4 * sizeof(double));
+    push_core(&g, x, y, z, ux, uy, uz, w, n, qdt, inv_vol, tab, acc,
+              do_wrap);
+    fold_core(&g);
+}
+
+/* ---- Yee field solve + ghost handling ---------------------------- */
+
+static void sync_core(float *restrict a, int64_t nx, int64_t ny,
+                      int64_t nz)
+{
+    /* FieldSolver.sync_periodic order: x planes, then y, then z */
+    const int64_t sy = ny + 2, sz = nz + 2, ps = sy * sz;
+    memcpy(a, a + nx * ps, (size_t)ps * sizeof(float));
+    memcpy(a + (nx + 1) * ps, a + ps, (size_t)ps * sizeof(float));
+    for (int64_t ix = 0; ix < nx + 2; ix++) {
+        float *row = a + ix * ps;
+        memcpy(row, row + ny * sz, (size_t)sz * sizeof(float));
+        memcpy(row + (ny + 1) * sz, row + sz,
+               (size_t)sz * sizeof(float));
+    }
+    for (int64_t ix = 0; ix < nx + 2; ix++)
+        for (int64_t iy = 0; iy < sy; iy++) {
+            float *row = a + (ix * sy + iy) * sz;
+            row[0] = row[nz];
+            row[nz + 1] = row[1];
+        }
+}
+
+void field_sync(float *a, int64_t nx, int64_t ny, int64_t nz) {
+    sync_core(a, nx, ny, nz);
+}
+
+static void advance_b_core(
+    const float *restrict ex, const float *restrict ey,
+    const float *restrict ez, float *restrict bx,
+    float *restrict by, float *restrict bz,
+    int64_t nx, int64_t ny, int64_t nz,
+    float fdt, float fdx, float fdy, float fdz)
+{
+    /* B -= dt * curl E, forward differences. Elementwise fusion of
+     * the numpy whole-array expression is bit-exact: every read is
+     * from E, every write to B (disjoint arrays). */
+    const int64_t sy = ny + 2, sz = nz + 2, ps = sy * sz;
+    for (int64_t ix = 1; ix <= nx; ix++)
+        for (int64_t iy = 1; iy <= ny; iy++) {
+            const int64_t v0 = (ix * sy + iy) * sz;
+            for (int64_t iz = 1; iz <= nz; iz++) {
+                const int64_t v = v0 + iz;
+                float dez_dy = (ez[v + sz] - ez[v]) / fdy;
+                float dey_dz = (ey[v + 1] - ey[v]) / fdz;
+                float dex_dz = (ex[v + 1] - ex[v]) / fdz;
+                float dez_dx = (ez[v + ps] - ez[v]) / fdx;
+                float dey_dx = (ey[v + ps] - ey[v]) / fdx;
+                float dex_dy = (ex[v + sz] - ex[v]) / fdy;
+                bx[v] -= fdt * (dez_dy - dey_dz);
+                by[v] -= fdt * (dex_dz - dez_dx);
+                bz[v] -= fdt * (dey_dx - dex_dy);
+            }
+        }
+}
+
+void field_advance_b(float *ex, float *ey, float *ez,
+                     float *bx, float *by, float *bz,
+                     int64_t nx, int64_t ny, int64_t nz,
+                     float fdt, float fdx, float fdy, float fdz,
+                     int sync)
+{
+    if (sync) {
+        sync_core(ex, nx, ny, nz);
+        sync_core(ey, nx, ny, nz);
+        sync_core(ez, nx, ny, nz);
+    }
+    advance_b_core(ex, ey, ez, bx, by, bz, nx, ny, nz,
+                   fdt, fdx, fdy, fdz);
+}
+
+static void advance_e_core(
+    float *restrict ex, float *restrict ey, float *restrict ez,
+    const float *restrict bx, const float *restrict by,
+    const float *restrict bz, const float *restrict jx,
+    const float *restrict jy, const float *restrict jz,
+    int64_t nx, int64_t ny, int64_t nz,
+    float fdt, float fdx, float fdy, float fdz)
+{
+    /* E += dt * (curl B - J), backward differences */
+    const int64_t sy = ny + 2, sz = nz + 2, ps = sy * sz;
+    for (int64_t ix = 1; ix <= nx; ix++)
+        for (int64_t iy = 1; iy <= ny; iy++) {
+            const int64_t v0 = (ix * sy + iy) * sz;
+            for (int64_t iz = 1; iz <= nz; iz++) {
+                const int64_t v = v0 + iz;
+                float dbz_dy = (bz[v] - bz[v - sz]) / fdy;
+                float dby_dz = (by[v] - by[v - 1]) / fdz;
+                float dbx_dz = (bx[v] - bx[v - 1]) / fdz;
+                float dbz_dx = (bz[v] - bz[v - ps]) / fdx;
+                float dby_dx = (by[v] - by[v - ps]) / fdx;
+                float dbx_dy = (bx[v] - bx[v - sz]) / fdy;
+                ex[v] += fdt * ((dbz_dy - dby_dz) - jx[v]);
+                ey[v] += fdt * ((dbx_dz - dbz_dx) - jy[v]);
+                ez[v] += fdt * ((dby_dx - dbx_dy) - jz[v]);
+            }
+        }
+}
+
+void field_advance_e(float *ex, float *ey, float *ez,
+                     float *bx, float *by, float *bz,
+                     float *jx, float *jy, float *jz,
+                     int64_t nx, int64_t ny, int64_t nz,
+                     float fdt, float fdx, float fdy, float fdz,
+                     int sync)
+{
+    if (sync) {
+        sync_core(bx, nx, ny, nz);
+        sync_core(by, nx, ny, nz);
+        sync_core(bz, nx, ny, nz);
+    }
+    advance_e_core(ex, ey, ez, bx, by, bz, jx, jy, jz, nx, ny, nz,
+                   fdt, fdx, fdy, fdz);
+}
+
+static void reduce_one(float *restrict a, int64_t nx, int64_t ny,
+                       int64_t nz)
+{
+    /* FieldSolver.reduce_ghost_currents order: x fold+zero, then y,
+     * then z (the x fold feeds the y fold's edge ghosts). */
+    const int64_t sy = ny + 2, sz = nz + 2, ps = sy * sz;
+    for (int64_t k = 0; k < ps; k++) a[nx * ps + k] += a[k];
+    for (int64_t k = 0; k < ps; k++) a[ps + k] += a[(nx + 1) * ps + k];
+    memset(a, 0, (size_t)ps * sizeof(float));
+    memset(a + (nx + 1) * ps, 0, (size_t)ps * sizeof(float));
+    for (int64_t ix = 0; ix < nx + 2; ix++) {
+        float *row = a + ix * ps;
+        for (int64_t k = 0; k < sz; k++) row[ny * sz + k] += row[k];
+        for (int64_t k = 0; k < sz; k++)
+            row[sz + k] += row[(ny + 1) * sz + k];
+        memset(row, 0, (size_t)sz * sizeof(float));
+        memset(row + (ny + 1) * sz, 0, (size_t)sz * sizeof(float));
+    }
+    for (int64_t ix = 0; ix < nx + 2; ix++)
+        for (int64_t iy = 0; iy < sy; iy++) {
+            float *row = a + (ix * sy + iy) * sz;
+            row[nz] += row[0];
+            row[1] += row[nz + 1];
+            row[0] = 0.0f;
+            row[nz + 1] = 0.0f;
+        }
+}
+
+void reduce_ghost_currents(float *jx, float *jy, float *jz,
+                           int64_t nx, int64_t ny, int64_t nz)
+{
+    reduce_one(jx, nx, ny, nz);
+    reduce_one(jy, nx, ny, nz);
+    reduce_one(jz, nx, ny, nz);
+}
+
+/* ---- stable counting sort (== np.argsort(voxels, kind="stable")) - */
+
+static void sort_one(NDeck *dk, NSpecies *sp) {
+    const int64_t n = sp->n, nv = dk->nv;
+    const int64_t gsy = dk->sy, gsz = dk->sz;
+    int64_t *restrict vox = sp->voxel;
+    int64_t *restrict counts = dk->counts;
+    int64_t *restrict perm = dk->perm;
+    /* voxel refresh from post-push positions (Grid.voxel_of_position
+     * f64 chain, interior-clipped) */
+    {
+        const float *restrict px = sp->x, *restrict py = sp->y,
+                    *restrict pz = sp->z;
+        for (int64_t i = 0; i < n; i++) {
+            double cx = ((double)px[i] - dk->x0) / dk->dx;
+            double cy = ((double)py[i] - dk->y0) / dk->dy;
+            double cz = ((double)pz[i] - dk->z0) / dk->dz;
+            cx = cx < 0.0 ? 0.0 : (cx > dk->hx ? dk->hx : cx);
+            cy = cy < 0.0 ? 0.0 : (cy > dk->hy ? dk->hy : cy);
+            cz = cz < 0.0 ? 0.0 : (cz > dk->hz ? dk->hz : cz);
+            vox[i] = (((int64_t)cx + 1) * gsy + ((int64_t)cy + 1)) * gsz
+                     + ((int64_t)cz + 1);
+        }
+    }
+    memset(counts, 0, (size_t)(nv + 1) * sizeof(int64_t));
+    for (int64_t i = 0; i < n; i++) counts[vox[i]]++;
+    int64_t total = 0;
+    for (int64_t v = 0; v < nv; v++) {
+        int64_t c = counts[v];
+        counts[v] = total;
+        total += c;
+    }
+    for (int64_t i = 0; i < n; i++) perm[counts[vox[i]]++] = i;
+    /* apply the permutation through the scratch buffers */
+    float *farr[7] = { sp->x, sp->y, sp->z, sp->ux, sp->uy, sp->uz,
+                       sp->w };
+    for (int c = 0; c < 7; c++) {
+        float *restrict a = farr[c];
+        float *restrict s = dk->scr_f;
+        for (int64_t j = 0; j < n; j++) s[j] = a[perm[j]];
+        memcpy(a, s, (size_t)n * sizeof(float));
+    }
+    int64_t *iarr[2] = { sp->voxel, sp->tag };
+    for (int c = 0; c < 2; c++) {
+        int64_t *restrict a = iarr[c];
+        int64_t *restrict s = dk->scr_i;
+        for (int64_t j = 0; j < n; j++) s[j] = a[perm[j]];
+        memcpy(a, s, (size_t)n * sizeof(int64_t));
+    }
+}
+
+/* ---- the whole step ---------------------------------------------- */
+
+static void step_one(NDeck *dk) {
+    const int64_t nx = dk->nx, ny = dk->ny, nz = dk->nz, nv = dk->nv;
+    double t0 = now_s();
+    /* half B advance (E ghosts synced first, as the numpy solver) */
+    sync_core(dk->ex, nx, ny, nz);
+    sync_core(dk->ey, nx, ny, nz);
+    sync_core(dk->ez, nx, ny, nz);
+    advance_b_core(dk->ex, dk->ey, dk->ez, dk->bx, dk->by, dk->bz,
+                   nx, ny, nz, dk->fdt_hb, dk->fdx, dk->fdy, dk->fdz);
+    memset(dk->jx, 0, (size_t)nv * sizeof(float));
+    memset(dk->jy, 0, (size_t)nv * sizeof(float));
+    memset(dk->jz, 0, (size_t)nv * sizeof(float));
+    dk->t_field += now_s() - t0;
+    /* fused push per species against the half-advanced B / pre-push
+     * synced E, exactly like the numpy fast path's field table */
+    t0 = now_s();
+    build_table(dk->ex, dk->ey, dk->ez, dk->bx, dk->by, dk->bz,
+                dk->tab, nv);
+    for (int64_t s = 0; s < dk->n_species; s++) {
+        NSpecies *sp = &dk->species[s];
+        if (sp->n == 0)
+            continue;
+        memset(dk->acc, 0, (size_t)nv * 4 * sizeof(double));
+        push_core(dk, sp->x, sp->y, sp->z, sp->ux, sp->uy, sp->uz,
+                  sp->w, sp->n, sp->qdt, sp->inv_vol, dk->tab,
+                  dk->acc, 1);
+        fold_core(dk);
+    }
+    dk->t_push += now_s() - t0;
+    /* field completion. The second half-B advance skips the E ghost
+     * re-sync: E has not changed since the sync above, so the copies
+     * it would redo are byte-identical no-ops (the current-only-sync
+     * optimization, mirrored by FieldSolver.advance_b(sync=False)). */
+    t0 = now_s();
+    reduce_one(dk->jx, nx, ny, nz);
+    reduce_one(dk->jy, nx, ny, nz);
+    reduce_one(dk->jz, nx, ny, nz);
+    advance_b_core(dk->ex, dk->ey, dk->ez, dk->bx, dk->by, dk->bz,
+                   nx, ny, nz, dk->fdt_hb, dk->fdx, dk->fdy, dk->fdz);
+    sync_core(dk->bx, nx, ny, nz);
+    sync_core(dk->by, nx, ny, nz);
+    sync_core(dk->bz, nx, ny, nz);
+    advance_e_core(dk->ex, dk->ey, dk->ez, dk->bx, dk->by, dk->bz,
+                   dk->jx, dk->jy, dk->jz, nx, ny, nz,
+                   dk->fdt_e, dk->fdx, dk->fdy, dk->fdz);
+    dk->t_field += now_s() - t0;
+    dk->step_count++;
+    if (dk->sort_interval > 0
+            && dk->step_count % dk->sort_interval == 0) {
+        t0 = now_s();
+        for (int64_t s = 0; s < dk->n_species; s++)
+            if (dk->species[s].n > 0)
+                sort_one(dk, &dk->species[s]);
+        dk->t_sort += now_s() - t0;
+        dk->sorts_done++;
+    }
+}
+
+void step_decks(NDeck *decks, int64_t n_decks, int64_t n_steps) {
+    for (int64_t s = 0; s < n_steps; s++)
+        for (int64_t d = 0; d < n_decks; d++)
+            step_one(&decks[d]);
 }
 """
 
-#: Strict-IEEE build: no fast-math value changes, no FMA contraction
+#: Strict-IEEE core: no fast-math value changes, no FMA contraction
 #: (an FMA would skip the intermediate rounding the numpy reference
-#: performs and break bit-identity).
-_CFLAGS = ("-O3", "-fno-fast-math", "-ffp-contract=off",
-           "-fPIC", "-shared")
+#: performs and break bit-identity). ``-fno-math-errno`` changes no
+#: values either — it only stops libm calls from being treated as
+#: memory clobbers, which is what lets the sqrtf/floorf loops
+#: vectorize.
+_STRICT_FLAGS = ("-O3", "-fno-fast-math", "-fno-math-errno",
+                 "-ffp-contract=off", "-fPIC", "-shared")
+#: Preferred build adds host tuning; values are identical (IEEE ops
+#: are value-stable across vector widths) but not every compiler
+#: accepts the flags, so the plain strict set is the fallback.
+_CFLAGS = _STRICT_FLAGS + ("-march=native", "-funroll-loops")
+_PORTABLE_CFLAGS = _STRICT_FLAGS
+
+_f32 = ctypes.c_float
+_f64 = ctypes.c_double
+_i64 = ctypes.c_int64
+_pf = ctypes.POINTER(ctypes.c_float)
+_pd = ctypes.POINTER(ctypes.c_double)
+_pi = ctypes.POINTER(ctypes.c_int64)
+
+
+class _CSpecies(ctypes.Structure):
+    _fields_ = [("x", _pf), ("y", _pf), ("z", _pf),
+                ("ux", _pf), ("uy", _pf), ("uz", _pf), ("w", _pf),
+                ("voxel", _pi), ("tag", _pi),
+                ("n", _i64),
+                ("qdt", _f32), ("inv_vol", _f32)]
+
+
+class _CDeck(ctypes.Structure):
+    _fields_ = [("nx", _i64), ("ny", _i64), ("nz", _i64),
+                ("sy", _i64), ("sz", _i64), ("nv", _i64),
+                ("hx", _f64), ("hy", _f64), ("hz", _f64),
+                ("x0", _f64), ("y0", _f64), ("z0", _f64),
+                ("dx", _f64), ("dy", _f64), ("dz", _f64),
+                ("fx0", _f32), ("fy0", _f32), ("fz0", _f32),
+                ("fdx", _f32), ("fdy", _f32), ("fdz", _f32),
+                ("flx", _f32), ("fly", _f32), ("flz", _f32),
+                ("fdt", _f32), ("fdt_hb", _f32), ("fdt_e", _f32),
+                ("ex", _pf), ("ey", _pf), ("ez", _pf),
+                ("bx", _pf), ("by", _pf), ("bz", _pf),
+                ("jx", _pf), ("jy", _pf), ("jz", _pf),
+                ("species", ctypes.POINTER(_CSpecies)),
+                ("n_species", _i64),
+                ("sort_interval", _i64), ("step_count", _i64),
+                ("sorts_done", _i64),
+                ("tab", _pf), ("acc", _pd),
+                ("counts", _pi), ("perm", _pi), ("scr_i", _pi),
+                ("scr_f", _pf),
+                ("t_field", _f64), ("t_push", _f64), ("t_sort", _f64)]
+
+
+def _fptr(a):
+    return a.ctypes.data_as(_pf)
+
+
+class _NativeLib:
+    """ctypes binding of the compiled native translation unit."""
+
+    def __init__(self, lib_path: Path, key: str):
+        lib = ctypes.CDLL(str(lib_path))
+        lib.fused_push.argtypes = (
+            [_pf] * 6 + [_pf, _i64, _pf, _pd] + [_pf] * 3
+            + [_i64] * 3 + [_f64] * 9 + [_f32] * 12 + [ctypes.c_int])
+        lib.fused_push.restype = None
+        lib.build_table.argtypes = [_pf] * 7 + [_i64]
+        lib.build_table.restype = None
+        lib.field_sync.argtypes = [_pf] + [_i64] * 3
+        lib.field_sync.restype = None
+        lib.field_advance_b.argtypes = ([_pf] * 6 + [_i64] * 3
+                                        + [_f32] * 4 + [ctypes.c_int])
+        lib.field_advance_b.restype = None
+        lib.field_advance_e.argtypes = ([_pf] * 9 + [_i64] * 3
+                                        + [_f32] * 4 + [ctypes.c_int])
+        lib.field_advance_e.restype = None
+        lib.reduce_ghost_currents.argtypes = [_pf] * 3 + [_i64] * 3
+        lib.reduce_ghost_currents.restype = None
+        lib.step_decks.argtypes = [ctypes.POINTER(_CDeck), _i64, _i64]
+        lib.step_decks.restype = None
+        self._lib = lib
+        self.path = lib_path
+        self.key = key
+
+    # -- push scope --------------------------------------------------
+
+    def push_species(self, fields, sp, arena, wrap: bool) -> None:
+        """Fused push for one species: build the padded field table,
+        zero the accumulator, push, and fold into J — all native.
+
+        The ctypes call runs under a ``native_push`` tracer span
+        (region-qualified in kernel timings and Chrome traces) and
+        reports its wall time into the ``native/step_seconds``
+        histogram — the compiled lane is the one piece of the step
+        Python-level timers cannot see inside.
+        """
+        from repro.kokkos.profiling import record_kernel
+        from repro.observability.metrics import default_registry
+
+        g = sp.grid
+        nv = g.n_voxels
+        _, sy, sz = g.shape
+        eps = 1e-9
+        tab = arena.buf("field_table8", (nv, 8), np.float32)
+        acc = arena.buf("j_acc4", (nv, 4), np.float64)
+        x, y, z = sp.positions()
+        ux, uy, uz = sp.momenta()
+        w = sp.live("w")
+        lx, ly, lz = g.lengths
+        t0 = time.perf_counter()
+        with record_kernel("native_push"):
+            self._lib.build_table(
+                _fptr(fields.ex.data), _fptr(fields.ey.data),
+                _fptr(fields.ez.data), _fptr(fields.bx.data),
+                _fptr(fields.by.data), _fptr(fields.bz.data),
+                _fptr(tab), _i64(nv))
+            self._lib.fused_push(
+                _fptr(x), _fptr(y), _fptr(z),
+                _fptr(ux), _fptr(uy), _fptr(uz), _fptr(w),
+                _i64(x.size), _fptr(tab), acc.ctypes.data_as(_pd),
+                _fptr(fields.jx.data), _fptr(fields.jy.data),
+                _fptr(fields.jz.data),
+                _i64(nv), _i64(sy), _i64(sz),
+                _f64(g.nx - eps), _f64(g.ny - eps), _f64(g.nz - eps),
+                _f64(g.x0), _f64(g.y0), _f64(g.z0),
+                _f64(g.dx), _f64(g.dy), _f64(g.dz),
+                _f32(g.x0), _f32(g.y0), _f32(g.z0),
+                _f32(g.dx), _f32(g.dy), _f32(g.dz),
+                _f32(lx), _f32(ly), _f32(lz),
+                _f32(np.float32(0.5 * sp.q * g.dt / sp.m)),
+                _f32(np.float32(g.dt)),
+                _f32(np.float32(sp.q / g.cell_volume)),
+                ctypes.c_int(1 if wrap else 0))
+        default_registry().histogram("native/step_seconds").observe(
+            time.perf_counter() - t0)
+
+    # -- field scope (per-rank use and the Yee bit-identity tests) ---
+
+    def advance_b(self, solver, frac: float) -> None:
+        f = solver.fields
+        g = f.grid
+        self._lib.field_advance_b(
+            _fptr(f.ex.data), _fptr(f.ey.data), _fptr(f.ez.data),
+            _fptr(f.bx.data), _fptr(f.by.data), _fptr(f.bz.data),
+            _i64(g.nx), _i64(g.ny), _i64(g.nz),
+            _f32(np.float32(frac * g.dt)),
+            _f32(g.dx), _f32(g.dy), _f32(g.dz),
+            ctypes.c_int(0 if solver.external_ghosts else 1))
+
+    def advance_e(self, solver, frac: float) -> None:
+        f = solver.fields
+        g = f.grid
+        self._lib.field_advance_e(
+            _fptr(f.ex.data), _fptr(f.ey.data), _fptr(f.ez.data),
+            _fptr(f.bx.data), _fptr(f.by.data), _fptr(f.bz.data),
+            _fptr(f.jx.data), _fptr(f.jy.data), _fptr(f.jz.data),
+            _i64(g.nx), _i64(g.ny), _i64(g.nz),
+            _f32(np.float32(frac * g.dt)),
+            _f32(g.dx), _f32(g.dy), _f32(g.dz),
+            ctypes.c_int(0 if solver.external_ghosts else 1))
+
+    # -- step scope --------------------------------------------------
+
+    def step_decks(self, decks, n_steps: int) -> None:
+        self._lib.step_decks(decks, _i64(len(decks)), _i64(n_steps))
+
+
+# -- build + cache ----------------------------------------------------
 
 _lock = threading.Lock()
-_kernel: "_NativePush | None" = None
+_libs: "dict[tuple[str, ...], _NativeLib | None]" = {}
 _status = "not initialized"
-_initialized = False
+_last_key: "str | None" = None
+_default: "_NativeLib | None" = None
+_default_resolved = False
 
 
-def _find_compiler() -> str | None:
+def _find_compiler() -> "str | None":
     for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
         if cand and shutil.which(cand):
             return cand
     return None
 
 
-def _cache_dir() -> Path | None:
+def _cache_dir() -> "Path | None":
     env = os.environ.get("REPRO_NATIVE_CACHE")
     if env:
         return Path(env)
@@ -197,129 +842,107 @@ def _cache_dir() -> Path | None:
     return root / "build" / "_native"
 
 
-class _NativePush:
-    """ctypes binding of the compiled ``push_tile`` kernel."""
-
-    def __init__(self, lib_path: Path):
-        lib = ctypes.CDLL(str(lib_path))
-        f, d, i64 = ctypes.c_float, ctypes.c_double, ctypes.c_int64
-        pf = ctypes.POINTER(ctypes.c_float)
-        pd = ctypes.POINTER(ctypes.c_double)
-        lib.push_tile.argtypes = ([pf] * 7 + [i64, pf, pd, pd, pd,
-                                  i64, i64] + [d] * 9 + [f] * 12
-                                  + [ctypes.c_int])
-        lib.push_tile.restype = None
-        self._fn = lib.push_tile
-        self.path = lib_path
-
-    def push(self, x, y, z, ux, uy, uz, w, table, acc_x, acc_y, acc_z,
-             grid, qdt_2m, inv_vol, wrap: bool) -> None:
-        """Run the fused push over all *n* particles in place.
-
-        ``table`` is the (n_voxels, 6) interleaved field table;
-        ``acc_*`` are float64 per-voxel current accumulators the
-        caller folds into J afterwards.
-
-        The whole-tile ctypes call runs under a ``native_push``
-        tracer span (nested inside the caller's ``push/<species>``
-        region, so it shows up region-qualified in kernel timings and
-        Chrome traces) and reports its wall time into the
-        ``native/step_seconds`` histogram — the compiled lane is the
-        one piece of the step Python-level timers cannot see inside.
-        """
-        import time
-
-        import numpy as np
-
-        from repro.kokkos.profiling import record_kernel
-        from repro.observability.metrics import default_registry
-
-        g = grid
-        eps = 1e-9
-        _, sy, sz = g.shape
-        pf = ctypes.POINTER(ctypes.c_float)
-        pd = ctypes.POINTER(ctypes.c_double)
-
-        def fp(a):
-            return a.ctypes.data_as(pf)
-
-        t0 = time.perf_counter()
-        with record_kernel("native_push"):
-            self._fn(
-                fp(x), fp(y), fp(z), fp(ux), fp(uy), fp(uz), fp(w),
-                ctypes.c_int64(x.size), fp(table),
-                acc_x.ctypes.data_as(pd), acc_y.ctypes.data_as(pd),
-                acc_z.ctypes.data_as(pd),
-                ctypes.c_int64(sy), ctypes.c_int64(sz),
-                ctypes.c_double(g.nx - eps), ctypes.c_double(g.ny - eps),
-                ctypes.c_double(g.nz - eps),
-                ctypes.c_double(g.x0), ctypes.c_double(g.y0),
-                ctypes.c_double(g.z0),
-                ctypes.c_double(g.dx), ctypes.c_double(g.dy),
-                ctypes.c_double(g.dz),
-                ctypes.c_float(g.x0), ctypes.c_float(g.y0),
-                ctypes.c_float(g.z0),
-                ctypes.c_float(g.dx), ctypes.c_float(g.dy),
-                ctypes.c_float(g.dz),
-                ctypes.c_float(g.lengths[0]),
-                ctypes.c_float(g.lengths[1]),
-                ctypes.c_float(g.lengths[2]),
-                ctypes.c_float(np.float32(qdt_2m)),
-                ctypes.c_float(np.float32(g.dt)),
-                ctypes.c_float(np.float32(inv_vol)),
-                ctypes.c_int(1 if wrap else 0),
-            )
-        default_registry().histogram("native/step_seconds").observe(
-            time.perf_counter() - t0)
-
-
-def _build() -> "tuple[_NativePush | None, str]":
+def _build_locked(flags: tuple) -> "_NativeLib | None":
+    """Build (or reuse) the library for *flags*; always refreshes the
+    module status so :func:`native_status` reports this — the most
+    recent — attempt, cache key included."""
+    global _status, _last_key
+    if flags in _libs:
+        lib = _libs[flags]
+        if lib is not None:
+            _status = (f"compiled ({' '.join(flags)}) -> {lib.path} "
+                       f"[key {lib.key}]")
+            _last_key = lib.key
+        return lib
     cc = _find_compiler()
     if cc is None:
-        return None, "no C compiler on PATH (set CC to override)"
+        _status = "no C compiler on PATH (set CC to override)"
+        _last_key = None
+        _libs[flags] = None
+        return None
     cache = _cache_dir()
     if cache is None:
-        return None, "no writable cache directory"
+        _status = "no writable cache directory"
+        _last_key = None
+        _libs[flags] = None
+        return None
     tag = hashlib.sha256(
-        (_SOURCE + " ".join(_CFLAGS) + cc).encode()).hexdigest()[:16]
-    lib_path = cache / f"push_{tag}.so"
+        (_SOURCE + " ".join(flags) + cc).encode()).hexdigest()[:16]
+    _last_key = tag
+    lib_path = cache / f"step_{tag}.so"
     if not lib_path.exists():
         try:
             cache.mkdir(parents=True, exist_ok=True)
-            src = cache / f"push_{tag}.c"
+            src = cache / f"step_{tag}.c"
             src.write_text(_SOURCE)
-            tmp = cache / f"push_{tag}.so.tmp"
+            tmp = cache / f"step_{tag}.so.tmp"
             proc = subprocess.run(
-                [cc, *_CFLAGS, str(src), "-o", str(tmp), "-lm"],
+                [cc, *flags, str(src), "-o", str(tmp), "-lm"],
                 capture_output=True, text=True, timeout=120)
             if proc.returncode != 0:
-                return None, f"compile failed: {proc.stderr.strip()[:400]}"
+                _status = (f"compile failed [key {tag}]: "
+                           f"{proc.stderr.strip()[:400]}")
+                _libs[flags] = None
+                return None
             os.replace(tmp, lib_path)
         except OSError as exc:
-            return None, f"build error: {exc}"
+            _status = f"build error [key {tag}]: {exc}"
+            _libs[flags] = None
+            return None
         except subprocess.TimeoutExpired:
-            return None, "compile timed out"
+            _status = f"compile timed out [key {tag}]"
+            _libs[flags] = None
+            return None
     try:
-        return _NativePush(lib_path), f"compiled with {cc} -> {lib_path}"
+        lib = _NativeLib(lib_path, tag)
     except OSError as exc:
-        return None, f"dlopen failed: {exc}"
+        _status = f"dlopen failed [key {tag}]: {exc}"
+        _libs[flags] = None
+        return None
+    _status = (f"compiled with {cc} ({' '.join(flags)}) -> {lib_path} "
+               f"[key {tag}]")
+    _libs[flags] = lib
+    return lib
 
 
-def native_push_kernel() -> "_NativePush | None":
-    """The compiled push kernel, building it on first call.
+def native_push_kernel() -> "_NativeLib | None":
+    """The compiled native library, building it on first call.
 
-    Returns ``None`` (and remembers why — see :func:`native_status`)
-    whenever compilation is impossible; callers fall back to the
-    portable numpy fast path.
+    Tries the host-tuned flag set first and falls back to the plain
+    strict-IEEE set; returns ``None`` (and remembers why — see
+    :func:`native_status`) whenever compilation is impossible, in
+    which case callers fall back to the portable numpy fast path.
     """
-    global _kernel, _status, _initialized
-    if _initialized:
-        return _kernel
+    global _default, _default_resolved
+    if _default_resolved:
+        return _default
     with _lock:
-        if not _initialized:
-            _kernel, _status = _build()
-            _initialized = True
-    return _kernel
+        if not _default_resolved:
+            lib = _build_locked(_CFLAGS)
+            if lib is None and _CFLAGS != _PORTABLE_CFLAGS:
+                lib = _build_locked(_PORTABLE_CFLAGS)
+            _default = lib
+            _default_resolved = True
+    return _default
+
+
+def rebuild(cflags=None) -> "_NativeLib | None":
+    """Force a fresh build attempt (with *cflags* when given) and make
+    it the default library on success.
+
+    Exists for flag experiments and for the status contract: every
+    attempt — wherever it lands in the fallback chain — updates
+    :func:`native_status` and :func:`native_build_key`.
+    """
+    global _default, _default_resolved
+    flags = tuple(cflags) if cflags is not None else _CFLAGS
+    with _lock:
+        _libs.pop(flags, None)
+        lib = _build_locked(flags)
+        if lib is not None:
+            _default = lib
+            _default_resolved = True
+    return lib
 
 
 def native_available() -> bool:
@@ -327,7 +950,192 @@ def native_available() -> bool:
 
 
 def native_status() -> str:
-    """Human-readable availability: where the kernel came from, or
-    why the native lane is disabled."""
+    """Human-readable availability: where the kernel came from (and
+    its cache key), or why the most recent build attempt failed."""
     native_push_kernel()
     return _status
+
+
+def native_build_key() -> "str | None":
+    """Cache key (source+flags+compiler hash) of the most recent
+    build attempt, or ``None`` when no attempt got as far as hashing
+    (e.g. no compiler on PATH)."""
+    native_push_kernel()
+    return _last_key
+
+
+# -- field helpers (distributed ranks, Yee bit-identity tests) --------
+
+def field_advance_b(solver, frac: float = 0.5) -> bool:
+    """Native ``FieldSolver.advance_b`` (bit-identical). Returns
+    False when no kernel is available: caller should use numpy."""
+    lib = native_push_kernel()
+    if lib is None:
+        return False
+    lib.advance_b(solver, frac)
+    return True
+
+
+def field_advance_e(solver, frac: float = 1.0) -> bool:
+    """Native ``FieldSolver.advance_e`` (bit-identical). Returns
+    False when no kernel is available: caller should use numpy."""
+    lib = native_push_kernel()
+    if lib is None:
+        return False
+    lib.advance_e(solver, frac)
+    return True
+
+
+# -- step scope: packing + drivers ------------------------------------
+
+def _fill_deck(dk: _CDeck, sim, sort_interval: int) -> tuple:
+    """Pack one simulation into a deck descriptor; returns the
+    keep-alive tuple of backing buffers (arena-owned, but the ctypes
+    struct holds raw pointers, so references must outlive the call)."""
+    g = sim.grid
+    f = sim.fields
+    arena = sim._arena
+    nv = g.n_voxels
+    _, sy, sz = g.shape
+    eps = 1e-9
+    tab = arena.buf("field_table8", (nv, 8), np.float32)
+    acc = arena.buf("j_acc4", (nv, 4), np.float64)
+    counts = arena.buf("sort_counts", (nv + 1,), np.int64)
+    max_n = max((sp.capacity for sp in sim.species), default=1)
+    perm = arena.buf("sort_perm", (max_n,), np.int64)
+    scr_i = arena.buf("sort_scr_i", (max_n,), np.int64)
+    scr_f = arena.buf("sort_scr_f", (max_n,), np.float32)
+
+    dk.nx, dk.ny, dk.nz = g.nx, g.ny, g.nz
+    dk.sy, dk.sz, dk.nv = sy, sz, nv
+    dk.hx, dk.hy, dk.hz = g.nx - eps, g.ny - eps, g.nz - eps
+    dk.x0, dk.y0, dk.z0 = g.x0, g.y0, g.z0
+    dk.dx, dk.dy, dk.dz = g.dx, g.dy, g.dz
+    dk.fx0 = np.float32(g.x0)
+    dk.fy0 = np.float32(g.y0)
+    dk.fz0 = np.float32(g.z0)
+    dk.fdx = np.float32(g.dx)
+    dk.fdy = np.float32(g.dy)
+    dk.fdz = np.float32(g.dz)
+    lx, ly, lz = g.lengths
+    dk.flx = np.float32(lx)
+    dk.fly = np.float32(ly)
+    dk.flz = np.float32(lz)
+    dk.fdt = np.float32(g.dt)
+    dk.fdt_hb = np.float32(0.5 * g.dt)
+    dk.fdt_e = np.float32(1.0 * g.dt)
+    for name in ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz"):
+        setattr(dk, name, _fptr(getattr(f, name).data))
+    n_sp = len(sim.species)
+    spp = (_CSpecies * max(n_sp, 1))()
+    for i, sp in enumerate(sim.species):
+        cs = spp[i]
+        for arr_name in ("x", "y", "z", "ux", "uy", "uz", "w"):
+            setattr(cs, arr_name, _fptr(getattr(sp, arr_name)))
+        cs.voxel = sp.voxel.ctypes.data_as(_pi)
+        cs.tag = sp.tag.ctypes.data_as(_pi)
+        cs.n = sp.n
+        cs.qdt = np.float32(0.5 * sp.q * g.dt / sp.m)
+        cs.inv_vol = np.float32(sp.q / g.cell_volume)
+    dk.species = ctypes.cast(spp, ctypes.POINTER(_CSpecies))
+    dk.n_species = n_sp
+    dk.sort_interval = sort_interval
+    dk.step_count = sim.step_count
+    dk.sorts_done = 0
+    dk.tab = _fptr(tab)
+    dk.acc = acc.ctypes.data_as(_pd)
+    dk.counts = counts.ctypes.data_as(_pi)
+    dk.perm = perm.ctypes.data_as(_pi)
+    dk.scr_i = scr_i.ctypes.data_as(_pi)
+    dk.scr_f = scr_f.ctypes.data_as(_pf)
+    dk.t_field = dk.t_push = dk.t_sort = 0.0
+    return (tab, acc, counts, perm, scr_i, scr_f, spp)
+
+
+def _pack_identity(sim) -> tuple:
+    """The objects a packed deck holds raw pointers into. While every
+    one is the *same object*, the cached pack is still valid (arrays
+    mutate in place; capacity growth and checkpoint restores replace
+    them, which invalidates by identity)."""
+    parts = [getattr(sim.fields, name).data
+             for name in ("ex", "ey", "ez", "bx", "by", "bz",
+                          "jx", "jy", "jz")]
+    for sp in sim.species:
+        parts.extend(getattr(sp, a) for a in
+                     ("x", "y", "z", "ux", "uy", "uz", "w",
+                      "voxel", "tag"))
+    return tuple(parts)
+
+
+def _pack_cached(sim, sort_interval: int):
+    """One-deck pack with per-sim reuse: repacking costs ~0.2 ms of
+    ctypes traffic, a visible fraction of a small-deck step, so the
+    descriptor is cached on the sim and only the per-step fields are
+    refreshed while the underlying arrays are unchanged."""
+    cached = getattr(sim, "_native_pack", None)
+    ident = _pack_identity(sim)
+    if cached is not None:
+        decks, keep, old_ident = cached
+        if len(old_ident) == len(ident) and all(
+                a is b for a, b in zip(old_ident, ident)):
+            dk = decks[0]
+            dk.sort_interval = sort_interval
+            dk.step_count = sim.step_count
+            dk.sorts_done = 0
+            dk.t_field = dk.t_push = dk.t_sort = 0.0
+            spp = keep[-1]
+            for i, sp in enumerate(sim.species):
+                spp[i].n = sp.n
+            return decks
+    decks = (_CDeck * 1)()
+    keep = _fill_deck(decks[0], sim, sort_interval)
+    sim._native_pack = (decks, keep, ident)
+    return decks
+
+
+def step_simulation(sim, sort_interval: int = 0) -> "dict | None":
+    """Advance *sim* by one whole native step.
+
+    ``sort_interval`` > 0 hands the counting sort to the C lane (the
+    caller has checked the policy is ``SortKind.STANDARD`` with no
+    detail-mode gauges due); 0 leaves any sorting to the caller.
+    Returns per-phase seconds and whether the lane sorted, or
+    ``None`` when no kernel is available.
+    """
+    lib = native_push_kernel()
+    if lib is None:
+        return None
+    decks = _pack_cached(sim, sort_interval)
+    lib.step_decks(decks, 1)
+    dk = decks[0]
+    return {"field": dk.t_field, "push": dk.t_push,
+            "sort": dk.t_sort, "sorted": dk.sorts_done > 0}
+
+
+def step_batch(sims, num_steps: int) -> "list[dict] | None":
+    """Advance N independent simulations ``num_steps`` each in ONE
+    native call, round-robin per step over their packed arenas.
+
+    Decks never interact, so the interleaving is byte-identical to
+    running them back to back. Callers have verified every sim is
+    native-step eligible with a natively sortable (or disabled) sort
+    policy. Returns per-sim phase/sort summaries, or ``None`` when no
+    kernel is available.
+    """
+    from repro.core.sorting import SortKind
+
+    lib = native_push_kernel()
+    if lib is None:
+        return None
+    decks = (_CDeck * len(sims))()
+    keeps = []
+    for dk, sim in zip(decks, sims):
+        interval = sim.sort_step.interval
+        if sim.sort_step.kind is not SortKind.STANDARD:
+            interval = 0
+        keeps.append(_fill_deck(dk, sim, interval))
+    lib.step_decks(decks, num_steps)
+    del keeps
+    return [{"field": dk.t_field, "push": dk.t_push,
+             "sort": dk.t_sort, "sorts_done": dk.sorts_done}
+            for dk in decks]

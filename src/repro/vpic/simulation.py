@@ -23,8 +23,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.sorting import SortKind
 from repro.core.tuning import StepPlan
-from repro.kokkos.profiling import profiling_region, record_kernel
+from repro.kokkos.atomics import accounting_enabled
+from repro.kokkos.profiling import (add_kernel_time, profiling_region,
+                                    record_kernel)
+from repro.observability.callbacks import tools_active
 from repro.observability.metrics import default_registry, detail_enabled
 from repro.vpic.boundary import BoundaryKind, apply_particle_boundaries
 from repro.vpic.boris import advance_positions, boris_push, momentum_gamma
@@ -215,6 +219,79 @@ class Simulation:
                 and self.boundary is BoundaryKind.PERIODIC
                 and g.x0 == 0.0 and g.y0 == 0.0 and g.z0 == 0.0)
 
+    def _native_step_ok(self) -> bool:
+        """Whether the whole-step native lane may run this step.
+
+        Stricter than :meth:`_fast_step_ok`: the C step owns the Yee
+        solve and ghost handling too, so it additionally needs the
+        plain periodic field solver on float32 fields, no live
+        observability tools (their per-kernel spans need the Python
+        lane), and no atomics accounting. Ineligible steps degrade to
+        the push-scope lane, then numpy — never an error.
+        """
+        plan = self.step_plan
+        return (plan.native and plan.native_scope == "step"
+                and self._fast_step_ok()
+                and self.field_boundary is FieldBoundaryKind.PERIODIC
+                and type(self._solver) is FieldSolver
+                and not self._solver.external_ghosts
+                and np.dtype(self.fields.dtype) == np.float32
+                and not tools_active()
+                and not accounting_enabled())
+
+    def _native_sort_ok(self) -> bool:
+        """Whether the C lane may also apply the counting sort: only
+        the STANDARD ordering has a native twin, and detail mode needs
+        the Python path for its disorder gauges."""
+        return (self.sort_step.kind is SortKind.STANDARD
+                and not detail_enabled())
+
+    def _native_step(self) -> "int | None":
+        """One whole-step native advance (fields + push + sort in C).
+
+        Returns particles pushed, or ``None`` when no compiled kernel
+        is available and the caller should take the Python step. Phase
+        durations measured inside C are credited to the same kernel
+        labels the Python lanes use (``field_solve``,
+        ``native_push/<species>``, ``sort/...``), so timing folds and
+        the flight recorder see an unchanged attribution scheme.
+        """
+        from repro.vpic import native
+
+        sort_native = self._native_sort_ok()
+        res = native.step_simulation(
+            self, self.sort_step.interval if sort_native else 0)
+        if res is None:
+            return None
+        pushed = self.total_particles
+        self.step_count += 1
+        add_kernel_time("field_solve", res["field"])
+        # Per-species attribution (the labels the Python lanes emit),
+        # split by particle count — the C lane times the whole push.
+        for sp in self.species:
+            if sp.n:
+                add_kernel_time(f"native_push/{sp.name}",
+                                res["push"] * sp.n / max(pushed, 1))
+        default_registry().histogram("native/step_seconds").observe(
+            res["push"])
+        if res["sorted"]:
+            add_kernel_time("sort/native", res["sort"])
+            reg = default_registry()
+            for sp in self.species:
+                if sp.n:
+                    # The C sort recomputed voxels before permuting.
+                    sp.mark_voxels_fresh()
+                    self.sort_step.sorts_performed += 1
+                    reg.counter("sort/applied").inc()
+        else:
+            for sp in self.species:
+                sp.mark_voxels_stale()
+            if self.sort_step.due(self.step_count):
+                for sp in self.species:
+                    with record_kernel(f"sort/{sp.name}"):
+                        self.sort_step.apply(sp, scratch=self._arena)
+        return pushed
+
     def step(self) -> None:
         """Advance the whole system by one timestep.
 
@@ -229,26 +306,37 @@ class Simulation:
         if self.guard is not None:
             self.guard.before_step(self)
         with profiling_region("step"):
-            self._solver.advance_b(0.5)
-            self.fields.clear_currents()
-            if self._fast_step_ok():
-                pushed = self.push_step()
+            native_pushed = (self._native_step()
+                             if self._native_step_ok() else None)
+            if native_pushed is not None:
+                pushed = native_pushed
             else:
-                for sp in self.species:
-                    pushed += sp.n
-                    self.push_species(sp)
-                for sp in self.species:
-                    with record_kernel(f"boundary/{sp.name}"):
-                        apply_particle_boundaries(sp, self.boundary)
-            with record_kernel("field_solve"):
-                self._solver.reduce_ghost_currents()
                 self._solver.advance_b(0.5)
-                self._solver.advance_e(1.0)
-            self.step_count += 1
-            if self.sort_step.due(self.step_count):
-                for sp in self.species:
-                    with record_kernel(f"sort/{sp.name}"):
-                        self.sort_step.apply(sp, scratch=self._arena)
+                self.fields.clear_currents()
+                if self._fast_step_ok():
+                    pushed = self.push_step()
+                else:
+                    for sp in self.species:
+                        pushed += sp.n
+                        self.push_species(sp)
+                    for sp in self.species:
+                        with record_kernel(f"boundary/{sp.name}"):
+                            apply_particle_boundaries(sp, self.boundary)
+                with record_kernel("field_solve"):
+                    self._solver.reduce_ghost_currents()
+                    # E is untouched since the pre-push sync, so the
+                    # second half-B advance can skip the redundant E
+                    # ghost refresh (bit-identical; three fewer ghost
+                    # copies per step). The reference plan keeps the
+                    # original blanket sync.
+                    self._solver.advance_b(
+                        0.5, sync=self.step_plan.reference)
+                    self._solver.advance_e(1.0)
+                self.step_count += 1
+                if self.sort_step.due(self.step_count):
+                    for sp in self.species:
+                        with record_kernel(f"sort/{sp.name}"):
+                            self.sort_step.apply(sp, scratch=self._arena)
         step_seconds = time.perf_counter() - t0
         reg = default_registry()
         reg.counter("sim/steps").inc()
@@ -278,6 +366,77 @@ class Simulation:
         if self._energy0:
             drift = abs(total - self._energy0) / abs(self._energy0)
             reg.gauge("sim/energy_drift").set(drift)
+
+    @classmethod
+    def step_many(cls, sims, num_steps: int) -> None:
+        """Advance every simulation in *sims* by *num_steps* steps.
+
+        The batched fast path: when every sim is whole-step eligible
+        with no guard or recorder attached (those hook every
+        individual step) and a natively sortable (or disabled) sort
+        policy, all decks advance in ONE native call over their packed
+        arenas, round-robin per step. Decks are independent, so the
+        interleaving is byte-identical to stepping them back to back —
+        and so is the graceful fallback, which simply interleaves
+        :meth:`step` calls in the same round-robin order.
+        """
+        from repro.vpic import native
+
+        if num_steps < 0:
+            raise ValueError(
+                f"num_steps must be non-negative, got {num_steps}")
+        sims = list(sims)
+        if not sims or num_steps == 0:
+            return
+
+        def batch_ok(s: "Simulation") -> bool:
+            return (s.guard is None and s.recorder is None
+                    and s._native_step_ok()
+                    and (s.sort_step.interval == 0
+                         or s.sort_step.kind is SortKind.NONE
+                         or s._native_sort_ok()))
+
+        results = None
+        if all(batch_ok(s) for s in sims):
+            with profiling_region("step"):
+                results = native.step_batch(sims, num_steps)
+                if results is not None:
+                    reg = default_registry()
+                    for s, res in zip(sims, results):
+                        s.step_count += num_steps
+                        reg.counter("sim/steps").inc(num_steps)
+                        reg.counter("sim/particles_pushed").inc(
+                            s.total_particles * num_steps)
+                        add_kernel_time("field_solve", res["field"])
+                        total = max(s.total_particles, 1)
+                        for sp in s.species:
+                            if sp.n:
+                                add_kernel_time(
+                                    f"native_push/{sp.name}",
+                                    res["push"] * sp.n / total)
+                        reg.histogram("native/step_seconds").observe(
+                            res["push"])
+                        n_sorts = res["sorts_done"]
+                        live = sum(1 for sp in s.species if sp.n)
+                        if n_sorts:
+                            add_kernel_time("sort/native", res["sort"])
+                            s.sort_step.sorts_performed += n_sorts * live
+                            reg.counter("sort/applied").inc(
+                                n_sorts * live)
+                        # Voxels are fresh only if the *final* step
+                        # sorted; any later push leaves them stale.
+                        sorted_final = (
+                            n_sorts > 0 and s.sort_step.interval > 0
+                            and s.step_count % s.sort_step.interval == 0)
+                        for sp in s.species:
+                            if sorted_final and sp.n:
+                                sp.mark_voxels_fresh()
+                            else:
+                                sp.mark_voxels_stale()
+        if results is None:
+            for _ in range(num_steps):
+                for s in sims:
+                    s.step()
 
     def run(self, num_steps: int, diagnostic=None,
             sample_every: int = 1) -> None:

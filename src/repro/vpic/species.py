@@ -131,6 +131,11 @@ class Species:
         """Positions moved without a voxel refresh (fused push)."""
         self._voxels_stale = True
 
+    def mark_voxels_fresh(self) -> None:
+        """Voxels were recomputed externally (native counting sort
+        refreshes them from positions before permuting)."""
+        self._voxels_stale = False
+
     def gamma(self) -> np.ndarray:
         """Relativistic Lorentz factor per particle."""
         ux, uy, uz = self.momenta()

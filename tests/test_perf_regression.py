@@ -22,6 +22,7 @@ import pytest
 BASELINE = Path(__file__).resolve().parent.parent / "BENCH_2.json"
 PROFILE_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_3.json"
 STEP_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+WHOLE_STEP_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_7.json"
 
 
 @pytest.mark.perf
@@ -50,11 +51,13 @@ def test_profile_overhead_under_fifteen_percent():
     """The full ``repro profile`` tool stack (RankProfiler +
     CounterTool) must cost <15% wall time on the demo deck — the
     budget ISSUE 3 sets for always-on-capable profiling. Best of
-    three runs, so scheduler noise doesn't flake the bound."""
+    five runs, so scheduler noise doesn't flake the bound (the
+    native rank step shrank the denominator ~4x, so a stolen-CPU
+    burst distorts a single reading far more than it used to)."""
     from repro.observability.overhead import measure_profile_overhead
 
     fractions = [measure_profile_overhead().overhead_fraction
-                 for _ in range(3)]
+                 for _ in range(5)]
     best = min(fractions)
     assert best <= 0.15, (
         f"profiling overhead {best:.1%} exceeds the 15% budget "
@@ -99,3 +102,41 @@ def test_step_fast_path_throughput_not_regressed():
         f"{deck_rec['fast_particles_per_second']:.3g} — the hot loop "
         f"has regressed (re-baseline with scripts/bench_step.py only "
         f"if the slowdown is intended)")
+
+
+@pytest.mark.perf
+def test_whole_step_lane_not_silently_downgraded():
+    """The whole-step native lane must beat the recorded BENCH_5 fast
+    path by at least 2.5x on the uniform deck. The push lane alone
+    lands well under that bar, so this trips whenever the whole-step
+    lane silently falls back to per-kernel stepping (a broken C
+    build, a gate accidentally widened, the plan no longer selecting
+    native_scope='step'). Best of three, plain unguarded run."""
+    if not (STEP_BASELINE.exists() and WHOLE_STEP_BASELINE.exists()):
+        pytest.skip("no BENCH_5/BENCH_7 baselines recorded "
+                    "(run scripts/bench_step.py [--whole-step])")
+    from repro.vpic.native import native_available
+    if not native_available():
+        pytest.skip("no C compiler: the whole-step lane cannot engage")
+
+    bench5 = json.loads(STEP_BASELINE.read_text())
+    fast5 = float(
+        bench5["decks"]["uniform"]["fast_seconds_per_step"])
+
+    from repro.bench.push_bench import measure_step_throughput
+    from repro.vpic.workloads import uniform_plasma_deck
+
+    runs = [measure_step_throughput(uniform_plasma_deck(seed=0),
+                                    steps=15, warm=3)
+            for _ in range(3)]
+    assert runs[0]["lane"] == "native-step", (
+        f"default plan stepped through lane {runs[0]['lane']!r} "
+        f"instead of the whole-step native lane")
+    best = min(r["seconds_per_step"] for r in runs)
+    speedup = fast5 / best
+    assert speedup >= 2.5, (
+        f"whole-step lane is only {speedup:.2f}x the BENCH_5 fast "
+        f"baseline ({best * 1e3:.2f} ms/step vs {fast5 * 1e3:.2f}); "
+        f"below 2.5x means it has fallen back to per-kernel "
+        f"stepping — check native_status() and the _native_step_ok "
+        f"gates")

@@ -26,11 +26,15 @@ from repro.vpic.workloads import two_stream_deck, uniform_plasma_deck
 POS_MOM = ("x", "y", "z", "ux", "uy", "uz")
 FIELDS = ("ex", "ey", "ez", "bx", "by", "bz", "jx", "jy", "jz")
 
-#: The fused lanes under test; the native lane joins when a compiler
-#: exists (ISSUE 5 requires bit-identity from *both*).
+#: The fused lanes under test; the native lanes join when a compiler
+#: exists (ISSUE 5 requires bit-identity from the push lane, ISSUE 7
+#: from the whole-step lane).
 FAST_PLANS = [pytest.param(StepPlan(native=False), id="numpy-fused")]
 if native_available():
-    FAST_PLANS.append(pytest.param(StepPlan(native=True), id="native"))
+    FAST_PLANS.append(pytest.param(
+        StepPlan(native=True, native_scope="push"), id="native-push"))
+    FAST_PLANS.append(pytest.param(
+        StepPlan(native=True, native_scope="step"), id="native-step"))
 
 
 def _stepped(deck, plan, steps=1):
