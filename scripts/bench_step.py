@@ -31,6 +31,7 @@ sys.path.insert(0, str(REPO / "src"))
 
 OUT_PATH = REPO / "BENCH_5.json"
 WHOLE_STEP_OUT_PATH = REPO / "BENCH_7.json"
+TELEMETRY_OUT_PATH = REPO / "BENCH_8.json"
 
 #: (deck key, measured steps) — the big decks use fewer timed steps.
 DECKS = (
@@ -151,6 +152,131 @@ def bench_deck_whole_step(name: str, steps: int,
     }
 
 
+def _telemetry_run(name: str, steps: int, plan) -> dict:
+    """One timed run of *name* with the full telemetry-compatible
+    stack attached: ChromeTracer + CounterTool + detail metrics +
+    a per-step TimeSeriesRecorder. Returns the wall time, the lane
+    actually taken, and the drain channel's self-measured share."""
+    from repro.kokkos.profiling import profiling_session
+    from repro.machine.specs import get_platform
+    from repro.observability import native_telemetry
+    from repro.observability.callbacks import (register_tool,
+                                               unregister_tool)
+    from repro.observability.counters import CounterTool
+    from repro.observability.metrics import set_detail
+    from repro.observability.timeseries import TimeSeriesRecorder
+    from repro.observability.tracer import ChromeTracer
+    from repro.vpic.native import native_available
+
+    sim = _deck(name).build()
+    sim.step_plan = plan
+    recorder = TimeSeriesRecorder(stride=1)
+    recorder.attach(sim)
+    tools = [register_tool(ChromeTracer()),
+             register_tool(CounterTool(get_platform("A100")))]
+    set_detail(True)
+    try:
+        with profiling_session():
+            for _ in range(max(2, steps // 6)):
+                sim.step()
+        native_telemetry.reset_drain_stats()
+        with profiling_session():
+            t0 = time.perf_counter()
+            for _ in range(steps):
+                sim.step()
+            elapsed = time.perf_counter() - t0
+    finally:
+        set_detail(False)
+        for tool in tools:
+            unregister_tool(tool)
+    drain = native_telemetry.drain_stats()
+    if sim.step_plan.reference:
+        lane = "reference"
+    elif sim._native_step_ok():
+        lane = "native-step"
+    elif (sim._fast_step_ok() and sim.step_plan.native
+          and native_available()):
+        lane = "native-push"
+    else:
+        lane = "numpy-fused"
+    return {
+        "seconds_per_step": elapsed / steps,
+        "lane": lane,
+        "particles": sim.total_particles,
+        "drain_fraction": (drain["seconds"] / elapsed
+                           if elapsed > 0 else 0.0),
+        "recorder_samples": len(recorder.samples()),
+    }
+
+
+def bench_deck_telemetry(name: str, steps: int,
+                         repeats: int = 3) -> dict:
+    """Best-of-*repeats* telemetry-on native lane vs the bare
+    reference for one deck — the observability-cost baseline: how
+    fast the whole-step lane stays when every telemetry-compatible
+    tool is watching it."""
+    from repro.core.tuning import StepPlan
+
+    best: dict[str, dict] = {}
+    for plan_name, plan in (("reference", StepPlan.reference_plan()),
+                            ("step", StepPlan())):
+        for _ in range(repeats):
+            r = _telemetry_run(name, steps, plan)
+            if (plan_name not in best
+                    or r["seconds_per_step"]
+                    < best[plan_name]["seconds_per_step"]):
+                best[plan_name] = r
+    ref, whole = best["reference"], best["step"]
+    return {
+        "steps": steps,
+        "repeats": repeats,
+        "particles": whole["particles"],
+        "lane": whole["lane"],
+        "recorder_samples": whole["recorder_samples"],
+        "reference_seconds_per_step": round(
+            ref["seconds_per_step"], 6),
+        "telemetry_seconds_per_step": round(
+            whole["seconds_per_step"], 6),
+        "speedup_vs_reference": round(
+            ref["seconds_per_step"] / whole["seconds_per_step"], 3),
+        "drain_overhead_fraction": round(
+            whole["drain_fraction"], 5),
+    }
+
+
+def run_telemetry(args) -> int:
+    """``--telemetry``: record BENCH_8.json (ISSUE 8)."""
+    from repro.core.tuning import StepPlan
+    from repro.vpic.native import native_status
+
+    print(f"step plan: {StepPlan()}")
+    print(f"native lane: {native_status()}")
+    decks = {}
+    for name, steps in DECKS:
+        r = bench_deck_telemetry(name, steps, repeats=args.repeats)
+        decks[name] = r
+        print(f"{name:14s} ref {r['reference_seconds_per_step']*1e3:8.2f}"
+              f"  telemetered {r['telemetry_seconds_per_step']*1e3:8.2f}"
+              f" ms/step  {r['speedup_vs_reference']:5.2f}x ref"
+              f"  drain {r['drain_overhead_fraction']:.2%}"
+              f"  lane={r['lane']}")
+
+    record = {
+        "benchmark": "telemetry_step_throughput",
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "git_head": _git_head(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "native_status": native_status(),
+        "decks": decks,
+    }
+    if args.check:
+        return 0
+    TELEMETRY_OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"baseline -> {TELEMETRY_OUT_PATH}")
+    return 0
+
+
 def run_whole_step(args) -> int:
     """``--whole-step``: record BENCH_7.json (ISSUE 7)."""
     from repro.core.tuning import StepPlan
@@ -205,10 +331,16 @@ def main(argv=None) -> int:
                         help="benchmark the whole-step native lane "
                              "against the push lane and reference, "
                              "writing BENCH_7.json")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="benchmark the whole-step native lane "
+                             "with tracer + counters + recorder "
+                             "attached, writing BENCH_8.json")
     args = parser.parse_args(argv)
 
     if args.whole_step:
         return run_whole_step(args)
+    if args.telemetry:
+        return run_telemetry(args)
 
     from repro.core.tuning import StepPlan
     from repro.vpic.native import native_status

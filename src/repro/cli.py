@@ -166,6 +166,15 @@ def cmd_run_deck(args) -> int:
         from repro.observability.counters import CounterTool
         counter_tool = CounterTool(get_platform("A100"))
         register_tool(counter_tool)
+    # An observed run that silently fell off the whole-step native
+    # lane would profile the wrong code — say so, once, with the
+    # tripped gate (tracer/metrics/recorder themselves no longer
+    # demote: they are fed from the native telemetry channel).
+    if (trace_path or metrics_path or profile_path
+            or recorder is not None):
+        reason = sim.native_fallback_reason()
+        if reason is not None:
+            print(f"note: whole-step native lane off — {reason}")
     try:
         diag = EnergyDiagnostic()
         try:
@@ -392,7 +401,8 @@ def cmd_scaling(args) -> int:
 def cmd_report(args) -> int:
     from repro.bench.runner import full_report
     from repro.observability.metrics import default_registry
-    from repro.observability.overhead import measure_overhead
+    from repro.observability.overhead import (
+        measure_native_telemetry_overhead, measure_overhead)
     from repro.perfmodel.memo import default_memo
     metrics_path = getattr(args, "metrics", None)
     if metrics_path:
@@ -406,6 +416,9 @@ def cmd_report(args) -> int:
               f"({stats['hit_rate']:.0%} hit rate, "
               f"{stats['entries']} entries)")
         print(measure_overhead().format())
+        nt = measure_native_telemetry_overhead(steps=10)
+        if nt is not None:
+            print(nt.format())
         print(f"metrics -> {metrics_path}")
     return 0
 

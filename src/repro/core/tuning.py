@@ -82,8 +82,13 @@ class StepPlan:
     #: handling + fused push + counting sort); ``"push"`` is the PR 5
     #: per-species push kernel only. Selection degrades gracefully at
     #: runtime: step -> push (when a step-ineligible feature like an
-    #: absorbing boundary or live tooling is present) -> numpy (no
-    #: compiler).
+    #: absorbing boundary or an *interposing* tool is present) ->
+    #: numpy (no compiler). Telemetry-compatible tools — ChromeTracer,
+    #: CounterTool, anything marked ``native_telemetry_ok`` — keep
+    #: the step scope selected: the C lane fills a per-phase stats
+    #: struct that ``observability/native_telemetry`` drains into the
+    #: usual spans/metrics/samples, and any demotion is explained by
+    #: ``Simulation.native_fallback_reason()`` instead of silent.
     native_scope: str = "step"
     threaded_ranks: bool = True  # concurrent rank kernels (distributed)
     tile_size: int = STEP_TILE

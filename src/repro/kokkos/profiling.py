@@ -121,19 +121,26 @@ def record_kernel(label: str, kind: str = "kernel") -> Iterator[None]:
             _tools.dispatch_end_kernel(kind, key, kid, dt)
 
 
-def add_kernel_time(label: str, seconds: float) -> None:
+def add_kernel_time(label: str, seconds: float,
+                    kind: str = "kernel") -> None:
     """Credit *seconds* to *label* under the current region path.
 
     For work whose duration was measured elsewhere — the whole-step
     native lane times its field/push/sort phases inside C and reports
     them back here — so phase attribution stays complete even when
-    Python never wraps the individual kernels.
+    Python never wraps the individual kernels. Registered tools see
+    the same event through ``dispatch_complete_kernel``, under the
+    identical region-qualified name a live ``record_kernel`` would
+    have used — that is what keeps tracer spans and counter rows
+    consistent across the native and Python lanes.
     """
     key = _qualified(label)
     timer = _timers.get(key)
     if timer is None:
         timer = _timers[key] = KernelTimer(key)
     timer.add(seconds)
+    if _tools.tools_active():
+        _tools.dispatch_complete_kernel(kind, key, seconds)
 
 
 def kernel_timings() -> dict[str, KernelTimer]:

@@ -27,7 +27,7 @@ from repro.mpi.comm import World
 from repro.mpi.decomposition import CartDecomposition
 from repro.mpi.halo import exchange_ghost_cells, reduce_ghost_sums
 from repro.mpi.particle_exchange import migrate_particles
-from repro.observability.callbacks import tools_active
+from repro.observability.callbacks import interposing_tools
 from repro.observability.rank_profile import rank_activity
 from repro.vpic.boris import advance_positions, boris_push
 from repro.vpic.deck import Deck, DepositionKind
@@ -186,15 +186,19 @@ class DistributedSimulation:
     def _threading_ok(self) -> bool:
         """Whether this step may fan ranks out over threads.
 
-        Threading is plan-gated and disabled whenever an observability
-        tool or atomic-contention accounting is live: those record
-        into shared per-process state, and keeping their event order
-        deterministic matters more than overlapping rank loops.
+        Threading is plan-gated and disabled whenever an *interposing*
+        observability tool or atomic-contention accounting is live:
+        those record into shared per-process state whose event order
+        matters more than overlapping rank loops.
+        Telemetry-compatible tools (``native_telemetry_ok`` — order-
+        independent accumulation, per-thread trace lanes) keep the
+        threaded fan-out, so a traced run measures the production
+        step, not a serialized stand-in.
         """
         return (self.plan.threaded_ranks
                 and not self.plan.reference
                 and self.world.size > 1
-                and not tools_active()
+                and not interposing_tools()
                 and not accounting_enabled())
 
     def _for_each_rank(self, fn) -> None:
@@ -308,6 +312,12 @@ class DistributedSimulation:
         self._exchange_fields(_E_NAMES)
         self._for_each_rank(full_e)
         self.step_count += 1
+        from repro.observability.metrics import default_registry
+        from repro.vpic.native import native_available
+        lane = ("reference" if self.plan.reference
+                else "native-push" if use_native and native_available()
+                else "numpy-fused")
+        default_registry().counter(f"step_lane/{lane}").inc()
         if self.recorder is not None:
             self.recorder.on_step(self, time.perf_counter() - t0)
         if self.guard is not None:

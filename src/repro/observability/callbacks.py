@@ -24,6 +24,21 @@ Missing callbacks are simply skipped. With no tool registered, every
 dispatch site short-circuits on :func:`tools_active` — one boolean
 read, which is what keeps the instrumented-but-off overhead
 negligible (see :mod:`repro.observability.overhead`).
+
+Tools also declare how they consume events. A tool whose class sets
+``native_telemetry_ok = True`` can be fed *after the fact* from the
+native telemetry channel — it only needs (name, kind, duration)
+tuples, not a live Python frame around each kernel — and therefore
+does not force the simulation off the whole-step native lane. Tools
+without the marker are *interposing*: they need Python to interleave
+with every kernel launch (custom begin hooks, region bookkeeping,
+fences), so the step falls back to the per-kernel lanes. Unknown
+tools default to interposing — the safe direction.
+
+``complete_kernel(name, kind, seconds)`` is the drain-side hook: a
+kernel that already ran (inside compiled code) is announced once,
+with its measured duration. Tools without the hook receive a
+synthesized ``begin``/``end`` pair instead.
 """
 
 from __future__ import annotations
@@ -36,8 +51,12 @@ __all__ = [
     "registered_tools",
     "tools_active",
     "clear_tools",
+    "native_telemetry_compatible",
+    "interposing_tools",
+    "tools_native_compatible",
     "dispatch_begin_kernel",
     "dispatch_end_kernel",
+    "dispatch_complete_kernel",
     "dispatch_begin_fence",
     "dispatch_end_fence",
     "dispatch_push_region",
@@ -87,6 +106,24 @@ def tools_active() -> bool:
     return _active
 
 
+def native_telemetry_compatible(tool) -> bool:
+    """True when *tool* opted into the drained native channel."""
+    return bool(getattr(tool, "native_telemetry_ok", False))
+
+
+def interposing_tools() -> tuple:
+    """Registered tools that need per-kernel Python interposition —
+    the ones that force the step off the whole-step native lane."""
+    return tuple(t for t in _tools
+                 if not native_telemetry_compatible(t))
+
+
+def tools_native_compatible() -> bool:
+    """True when every registered tool (possibly none) can be fed
+    from the native telemetry channel."""
+    return all(native_telemetry_compatible(t) for t in _tools)
+
+
 def _set_active() -> None:
     global _active
     _active = bool(_tools)
@@ -114,6 +151,31 @@ def dispatch_end_kernel(kind: str, name: str, kernel_id: int,
                         seconds: float) -> None:
     """Announce kernel completion with its measured wall time."""
     _call("end", kind, name, kernel_id, seconds)
+
+
+def dispatch_complete_kernel(kind: str, name: str,
+                             seconds: float) -> None:
+    """Announce a kernel that already ran, with a duration measured
+    out-of-band (the native telemetry channel). Tools implementing
+    ``complete_kernel`` get the single call; the rest get a
+    synthesized begin/end pair through their usual hooks."""
+    for tool in _tools:
+        cb = getattr(tool, "complete_kernel", None)
+        if cb is not None:
+            cb(name, kind, seconds)
+            continue
+        specific_end = getattr(tool, f"end_{kind}", None)
+        end = (specific_end if specific_end is not None
+               else getattr(tool, "end_kernel", None))
+        if end is None:
+            continue
+        kid = next(_kernel_ids)
+        specific_begin = getattr(tool, f"begin_{kind}", None)
+        begin = (specific_begin if specific_begin is not None
+                 else getattr(tool, "begin_kernel", None))
+        if begin is not None:
+            begin(name, kid)
+        end(name, kid, seconds)
 
 
 def dispatch_begin_fence(name: str) -> int:

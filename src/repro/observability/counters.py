@@ -292,12 +292,21 @@ class CounterTool:
     :meth:`counters_for` then yields the modeled counter set, and
     :meth:`annotate_spans` stamps them onto a tracer's spans the way
     nsight attaches counters to kernel launches.
+
+    The tool is telemetry-compatible: its accounting only needs
+    (name, seconds) per launch, so the whole-step native lane stays
+    selected and feeds it via :meth:`complete_kernel`.
     """
+
+    native_telemetry_ok = True
 
     def __init__(self, platform: PlatformSpec,
                  strategy: Strategy = Strategy.GUIDED):
         self.platform = platform
         self.strategy = strategy
+        # Threaded rank stepping dispatches end callbacks from worker
+        # threads; the read-modify-write accumulation needs the lock.
+        self._measure_lock = threading.Lock()
         #: name -> measured accumulation, in first-seen order.
         self.measured: dict[str, _KernelAccounting] = {}
         #: (pattern, trace, cost) bindings, first match wins.
@@ -308,11 +317,18 @@ class CounterTool:
 
     def end_kernel(self, name: str, kernel_id: int,
                    seconds: float) -> None:
-        acc = self.measured.get(name)
-        if acc is None:
-            acc = self.measured[name] = _KernelAccounting()
-        acc.seconds += seconds
-        acc.launches += 1
+        with self._measure_lock:
+            acc = self.measured.get(name)
+            if acc is None:
+                acc = self.measured[name] = _KernelAccounting()
+            acc.seconds += seconds
+            acc.launches += 1
+
+    def complete_kernel(self, name: str, kind: str,
+                        seconds: float) -> None:
+        """Drained native-channel launch: same accounting, the
+        duration was measured inside the compiled step."""
+        self.end_kernel(name, -1, seconds)
 
     # -- bindings ----------------------------------------------------------
 

@@ -38,6 +38,7 @@ __all__ = [
     "save_dashboard",
     "load_baseline",
     "baseline_deltas",
+    "lane_occupancy",
 ]
 
 #: Single-file fallback baseline when no deck-matched bench history
@@ -438,6 +439,58 @@ def _legend() -> str:
     return f'<div class="legend">{items}</div>'
 
 
+#: Step-lane display order + colors (matches the lane vocabulary of
+#: ``measure_step_throughput`` and the ``step_lane/*`` counters).
+_LANE_SERIES = (("native-step", "var(--series-1)"),
+                ("native-push", "var(--series-3)"),
+                ("numpy-fused", "var(--series-2)"),
+                ("reference", "var(--muted)"))
+
+
+def lane_occupancy(counters: dict) -> dict:
+    """Steps per execution lane from the ``step_lane/*`` counters."""
+    return {name: int(counters[f"step_lane/{name}"])
+            for name, _ in _LANE_SERIES
+            if counters.get(f"step_lane/{name}", 0) > 0}
+
+
+def _lane_bar_svg(occupancy: dict, width: int = 720) -> str:
+    """One stacked bar: share of steps each lane executed."""
+    total = sum(occupancy.values())
+    if total <= 0:
+        return '<p class="note">(no step-lane counters)</p>'
+    bar_h, label_w = 24, 64
+    height = bar_h + 6
+    plot_w = width - label_w - 90
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="Share of steps per execution lane">']
+    parts.append(f'<text x="{label_w - 10}" y="{3 + bar_h / 2 + 4}" '
+                 f'fill="var(--text-secondary)" font-size="12" '
+                 f'text-anchor="end">steps</text>')
+    x = float(label_w)
+    for name, color in _LANE_SERIES:
+        n = occupancy.get(name, 0)
+        if n <= 0:
+            continue
+        w = n / total * plot_w
+        tip = f"{name}: {n} steps ({n / total:.1%})"
+        parts.append(
+            f'<rect x="{x:.1f}" y="3" '
+            f'width="{max(w - 2, 1):.1f}" height="{bar_h}" '
+            f'rx="2" fill="{color}">'
+            f'<title>{html.escape(tip)}</title></rect>')
+        x += w
+    parts.append(f'<text x="{x + 6:.1f}" y="{3 + bar_h / 2 + 4}" '
+                 f'fill="var(--text-secondary)" font-size="12">'
+                 f'{total} steps</text>')
+    parts.append("</svg>")
+    items = "".join(
+        f'<span><span class="chip" style="background:{color}"></span>'
+        f'{name} {occupancy[name] / total:.0%}</span>'
+        for name, color in _LANE_SERIES if occupancy.get(name, 0) > 0)
+    return f'<div class="legend">{items}</div>' + "".join(parts)
+
+
 def _kernel_table(rows: list) -> str:
     head = ("<tr><th>kernel</th><th>time ms</th><th>launches</th>"
             "<th>AI</th><th>GFLOP/s</th><th>LLC hit</th>"
@@ -556,6 +609,15 @@ def render_dashboard(bundle: ProfileBundle) -> str:
             f'<h2>Rank time split (cf. paper Figs. 9-10)</h2>'
             f'<div class="card">{_legend()}'
             f'{_rank_bars_svg(report)}{_rank_table(report)}</div>')
+    occupancy = lane_occupancy(counters)
+    if occupancy:
+        sections.append(
+            f'<h2>Lane occupancy</h2>'
+            f'<div class="card">{_lane_bar_svg(occupancy)}'
+            f'<p class="note">which execution lane each recorded step '
+            f'took: whole-step C (native-step), per-species compiled '
+            f'push (native-push), the fused numpy path, or the '
+            f'reference kernels.</p></div>')
     if bundle.deltas:
         sections.append(
             f'<h2>Regression vs committed bench history</h2>'

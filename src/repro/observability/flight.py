@@ -253,6 +253,22 @@ class FlightRecorder:
             "stride": self.recorder.stride,
             "guarded": getattr(sim, "guard", None) is not None,
         }
+        # Which lane will the run measure? A silent demotion off the
+        # whole-step native lane is the classic way to profile the
+        # wrong code, so the header records the lane and the reason
+        # (satellite of ISSUE 8) alongside the build status string.
+        reason_fn = getattr(sim, "native_fallback_reason", None)
+        if callable(reason_fn):
+            reason = reason_fn()
+            header["native_lane"] = ("step" if reason is None
+                                     else "fallback")
+            if reason is not None:
+                header["native_fallback"] = reason
+            try:
+                from repro.vpic.native import native_status
+                header["native_status"] = native_status()
+            except Exception:
+                pass
         header.update(self.meta)
         self.header = header
         with open(os.path.join(self.run_dir, "header.json"), "w") as f:
@@ -261,6 +277,14 @@ class FlightRecorder:
 
     def on_step(self, sim, step_seconds: float) -> None:
         self.recorder.on_step(sim, step_seconds)
+
+    def on_batch(self, sim, info: dict) -> None:
+        """``Simulation.step_many`` metadata: this deck stepped
+        interleaved while others in the batch ran native — *info*
+        names which (``native_decks`` / ``interleaved_decks``)."""
+        event = {"ev": "batch", "t": time.time()}
+        event.update(info)
+        self._append(event)
 
     def on_crash(self, sim, exc: BaseException) -> None:
         """Dump the in-memory tail and close the log as crashed.

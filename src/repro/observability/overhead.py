@@ -25,7 +25,9 @@ import time
 from dataclasses import dataclass
 
 __all__ = ["OverheadReport", "measure_overhead",
-           "ProfileOverheadReport", "measure_profile_overhead"]
+           "ProfileOverheadReport", "measure_profile_overhead",
+           "NativeTelemetryOverhead",
+           "measure_native_telemetry_overhead"]
 
 
 @dataclass(frozen=True)
@@ -181,7 +183,12 @@ def measure_profile_overhead(deck=None, n_ranks: int = 2,
         # measures Python dispatch, not the profiler's marginal cost.
         # Sized against the fused+native rank step (per-kernel hook
         # counts don't scale with particles, so a deck the old numpy
-        # path made "big" is toy-sized for the compiled lane).
+        # path made "big" is toy-sized for the compiled lane). Note
+        # the RankProfiler is an *interposing* tool, so this measures
+        # the serial-rank profiled path — the honest worst case.
+        # Telemetry-compatible-only stacks (tracer + CounterTool)
+        # keep threaded ranks and the whole-step lane; their cost is
+        # what measure_native_telemetry_overhead states.
         from repro.vpic.workloads import uniform_plasma_deck
         deck = uniform_plasma_deck(nx=24, ny=24, nz=24, ppc=16,
                                    num_steps=steps)
@@ -216,4 +223,107 @@ def measure_profile_overhead(deck=None, n_ranks: int = 2,
         profiled_seconds=profiled_seconds,
         kernel_seconds={name: acc.seconds
                         for name, acc in tool.measured.items()},
+    )
+
+
+@dataclass(frozen=True)
+class NativeTelemetryOverhead:
+    """Cost of the drained native telemetry channel on one deck."""
+
+    deck_name: str
+    steps: int
+    plain_seconds: float
+    telemetry_seconds: float
+    #: Self-measured drain cost (struct read + event synthesis).
+    drain_seconds: float
+    drains: int
+
+    @property
+    def drain_fraction(self) -> float:
+        """Drain cost as a fraction of the telemetered step time —
+        the budget the <5% overhead guard enforces."""
+        if self.telemetry_seconds <= 0:
+            return 0.0
+        return self.drain_seconds / self.telemetry_seconds
+
+    @property
+    def slowdown_fraction(self) -> float:
+        """End-to-end slowdown of the telemetered run (wall clock)."""
+        if self.plain_seconds <= 0:
+            return 0.0
+        return max(0.0,
+                   self.telemetry_seconds / self.plain_seconds - 1.0)
+
+    def format(self) -> str:
+        per_drain_us = (self.drain_seconds / self.drains * 1e6
+                        if self.drains else 0.0)
+        return (
+            f"native telemetry drain on {self.deck_name} "
+            f"({self.steps} steps): plain "
+            f"{self.plain_seconds * 1e3:.1f} ms, telemetered "
+            f"{self.telemetry_seconds * 1e3:.1f} ms "
+            f"(+{self.slowdown_fraction:.1%}); drain "
+            f"{per_drain_us:.1f} us/step = "
+            f"{self.drain_fraction:.2%} of step time")
+
+
+def measure_native_telemetry_overhead(
+        deck=None, steps: int = 30) -> "NativeTelemetryOverhead | None":
+    """Time whole-step native runs bare vs with the full telemetry-
+    compatible stack (ChromeTracer + CounterTool + detail metrics)
+    attached, and report the drain's self-measured share.
+
+    Returns ``None`` when the deck cannot take the whole-step native
+    lane (no compiler, ineligible configuration) — there is no native
+    channel to measure then.
+    """
+    from repro.kokkos.profiling import profiling_session
+    from repro.machine.specs import get_platform
+    from repro.observability import native_telemetry
+    from repro.observability.callbacks import (register_tool,
+                                               unregister_tool)
+    from repro.observability.counters import CounterTool
+    from repro.observability.tracer import ChromeTracer
+
+    if steps <= 0:
+        raise ValueError(f"steps must be positive, got {steps}")
+    if deck is None:
+        from repro.vpic.workloads import uniform_plasma_deck
+        deck = uniform_plasma_deck(num_steps=steps)
+
+    def timed_run(with_tools: bool) -> "float | None":
+        with profiling_session():
+            sim = deck.build()
+            sim.step()                      # warm: compile + arenas
+            if not sim._native_step_ok():
+                return None
+            tools = []
+            if with_tools:
+                tools.append(register_tool(ChromeTracer()))
+                tools.append(register_tool(
+                    CounterTool(get_platform("A100"))))
+            try:
+                t0 = time.perf_counter()
+                for _ in range(steps):
+                    sim.step()
+                return time.perf_counter() - t0
+            finally:
+                for tool in tools:
+                    unregister_tool(tool)
+
+    plain_seconds = timed_run(False)
+    if plain_seconds is None:
+        return None
+    native_telemetry.reset_drain_stats()
+    telemetry_seconds = timed_run(True)
+    stats = native_telemetry.drain_stats()
+    if telemetry_seconds is None:
+        return None
+    return NativeTelemetryOverhead(
+        deck_name=deck.name,
+        steps=steps,
+        plain_seconds=plain_seconds,
+        telemetry_seconds=telemetry_seconds,
+        drain_seconds=stats["seconds"],
+        drains=stats["drains"],
     )

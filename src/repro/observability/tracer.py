@@ -40,7 +40,14 @@ class ChromeTracer:
     spans are evicted and counted (``buffer.dropped``), so a trace of
     a long run keeps its tail — the usual region of interest — and
     reports its own truncation in ``otherData``.
+
+    The tracer is *telemetry-compatible*: it only needs (name,
+    category, duration) per span, so the whole-step native lane can
+    stay selected and feed it drained spans through
+    :meth:`complete_kernel` instead of live begin/end interposition.
     """
+
+    native_telemetry_ok = True
 
     def __init__(self, capacity: int = 65536, pid: int = 0,
                  clock=time.perf_counter, process_name: str | None = None,
@@ -81,6 +88,17 @@ class ChromeTracer:
         name, cat, t0 = opened
         self.buffer.append(SpanEvent(name=name, cat=cat, start_us=t0,
                                      dur_us=self._now_us() - t0,
+                                     pid=self.pid, tid=self._tid()))
+
+    def complete_kernel(self, name: str, kind: str,
+                        seconds: float) -> None:
+        """Record a span for a kernel that already ran (the native
+        telemetry channel): back-dated so it *ends* now and spans its
+        measured duration."""
+        end = self._now_us()
+        dur = seconds * 1e6
+        self.buffer.append(SpanEvent(name=name, cat=kind,
+                                     start_us=end - dur, dur_us=dur,
                                      pid=self.pid, tid=self._tid()))
 
     def begin_kernel(self, name: str, kernel_id: int) -> None:

@@ -173,6 +173,12 @@ class WatchView:
         split = self._split_line()
         if split:
             lines.append(split)
+        lane = h.get("native_lane")
+        if lane == "step":
+            lines.append("native lane   step (whole-step C)")
+        elif lane == "fallback":
+            lines.append("native lane   fallback — "
+                         f"{h.get('native_fallback', 'unknown reason')}")
         if self.last_energy is not None:
             lines.append(f"energy drift  "
                          f"{self.last_energy.get('drift', 0.0):.3e}")

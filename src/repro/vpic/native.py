@@ -90,6 +90,9 @@ typedef struct {
     int64_t *voxel, *tag;
     int64_t n;
     float qdt, inv_vol;
+    /* per-call telemetry (reset by the host before each drive) */
+    int64_t pushed, crossings;
+    double t_push;
 } NSpecies;
 
 typedef struct {
@@ -114,6 +117,10 @@ typedef struct {
     float *scr_f;           /* (max particles) */
     /* accumulated phase seconds (field / push / sort) */
     double t_field, t_push, t_sort;
+    /* per-call telemetry counters (reset by the host before each
+     * drive): particles pushed, periodic boundary crossings, ghost
+     * current folds, per-species sort passes */
+    int64_t particles_pushed, crossings, ghost_folds, sort_events;
 } NDeck;
 
 static double now_s(void) {
@@ -132,15 +139,19 @@ static inline float wrapf_(float v, float L) {
 
 /* ---- fused particle push (tiled, SLP-friendly) ------------------- */
 
-static void push_core(const NDeck *g,
-                      float *restrict x, float *restrict y,
-                      float *restrict z, float *restrict ux,
-                      float *restrict uy, float *restrict uz,
-                      const float *restrict w, int64_t n,
-                      float qdt, float inv_vol,
-                      const float *restrict tab,
-                      double *restrict acc, int do_wrap)
+/* Returns the number of periodic wrap events (particles that left
+ * the domain on an axis) — pure counting in the existing escape
+ * branch, so the float op sequence is untouched. */
+static int64_t push_core(const NDeck *g,
+                         float *restrict x, float *restrict y,
+                         float *restrict z, float *restrict ux,
+                         float *restrict uy, float *restrict uz,
+                         const float *restrict w, int64_t n,
+                         float qdt, float inv_vol,
+                         const float *restrict tab,
+                         double *restrict acc, int do_wrap)
 {
+    int64_t wraps = 0;
     const int64_t gsy = g->sy, gsz = g->sz;
     const int64_t shift = (gsy + 1) * gsz + 1;
     const double hx = g->hx, hy = g->hy, hz = g->hz;
@@ -311,13 +322,16 @@ static void push_core(const NDeck *g,
                     const float oo = o[a], len = L[a];
                     for (int64_t i = 0; i < t; i++) {
                         float r = p[i] - oo;
-                        if (r < 0.0f || r >= len)
+                        if (r < 0.0f || r >= len) {
                             p[i] = wrapf_(r, len) + oo;
+                            wraps++;
+                        }
                     }
                 }
             }
         }
     }
+    return wraps;
 }
 
 static void fold_core(const NDeck *g) {
@@ -605,11 +619,19 @@ static void step_one(NDeck *dk) {
         NSpecies *sp = &dk->species[s];
         if (sp->n == 0)
             continue;
+        double ts = now_s();
         memset(dk->acc, 0, (size_t)nv * 4 * sizeof(double));
-        push_core(dk, sp->x, sp->y, sp->z, sp->ux, sp->uy, sp->uz,
-                  sp->w, sp->n, sp->qdt, sp->inv_vol, dk->tab,
-                  dk->acc, 1);
+        int64_t wraps = push_core(
+            dk, sp->x, sp->y, sp->z, sp->ux, sp->uy, sp->uz,
+            sp->w, sp->n, sp->qdt, sp->inv_vol, dk->tab,
+            dk->acc, 1);
         fold_core(dk);
+        sp->t_push += now_s() - ts;
+        sp->pushed += sp->n;
+        sp->crossings += wraps;
+        dk->particles_pushed += sp->n;
+        dk->crossings += wraps;
+        dk->ghost_folds++;
     }
     dk->t_push += now_s() - t0;
     /* field completion. The second half-B advance skips the E ghost
@@ -634,8 +656,10 @@ static void step_one(NDeck *dk) {
             && dk->step_count % dk->sort_interval == 0) {
         t0 = now_s();
         for (int64_t s = 0; s < dk->n_species; s++)
-            if (dk->species[s].n > 0)
+            if (dk->species[s].n > 0) {
                 sort_one(dk, &dk->species[s]);
+                dk->sort_events++;
+            }
         dk->t_sort += now_s() - t0;
         dk->sorts_done++;
     }
@@ -675,7 +699,9 @@ class _CSpecies(ctypes.Structure):
                 ("ux", _pf), ("uy", _pf), ("uz", _pf), ("w", _pf),
                 ("voxel", _pi), ("tag", _pi),
                 ("n", _i64),
-                ("qdt", _f32), ("inv_vol", _f32)]
+                ("qdt", _f32), ("inv_vol", _f32),
+                ("pushed", _i64), ("crossings", _i64),
+                ("t_push", _f64)]
 
 
 class _CDeck(ctypes.Structure):
@@ -698,7 +724,9 @@ class _CDeck(ctypes.Structure):
                 ("tab", _pf), ("acc", _pd),
                 ("counts", _pi), ("perm", _pi), ("scr_i", _pi),
                 ("scr_f", _pf),
-                ("t_field", _f64), ("t_push", _f64), ("t_sort", _f64)]
+                ("t_field", _f64), ("t_push", _f64), ("t_sort", _f64),
+                ("particles_pushed", _i64), ("crossings", _i64),
+                ("ghost_folds", _i64), ("sort_events", _i64)]
 
 
 def _fptr(a):
@@ -1037,6 +1065,8 @@ def _fill_deck(dk: _CDeck, sim, sort_interval: int) -> tuple:
         cs.n = sp.n
         cs.qdt = np.float32(0.5 * sp.q * g.dt / sp.m)
         cs.inv_vol = np.float32(sp.q / g.cell_volume)
+        cs.pushed = cs.crossings = 0
+        cs.t_push = 0.0
     dk.species = ctypes.cast(spp, ctypes.POINTER(_CSpecies))
     dk.n_species = n_sp
     dk.sort_interval = sort_interval
@@ -1049,6 +1079,8 @@ def _fill_deck(dk: _CDeck, sim, sort_interval: int) -> tuple:
     dk.scr_i = scr_i.ctypes.data_as(_pi)
     dk.scr_f = scr_f.ctypes.data_as(_pf)
     dk.t_field = dk.t_push = dk.t_sort = 0.0
+    dk.particles_pushed = dk.crossings = 0
+    dk.ghost_folds = dk.sort_events = 0
     return (tab, acc, counts, perm, scr_i, scr_f, spp)
 
 
@@ -1083,14 +1115,39 @@ def _pack_cached(sim, sort_interval: int):
             dk.step_count = sim.step_count
             dk.sorts_done = 0
             dk.t_field = dk.t_push = dk.t_sort = 0.0
+            dk.particles_pushed = dk.crossings = 0
+            dk.ghost_folds = dk.sort_events = 0
             spp = keep[-1]
             for i, sp in enumerate(sim.species):
                 spp[i].n = sp.n
+                spp[i].pushed = spp[i].crossings = 0
+                spp[i].t_push = 0.0
             return decks
     decks = (_CDeck * 1)()
     keep = _fill_deck(decks[0], sim, sort_interval)
     sim._native_pack = (decks, keep, ident)
     return decks
+
+
+def _deck_stats(dk, spp, n_species: int) -> dict:
+    """Drain one packed deck's telemetry struct into a plain dict —
+    the per-phase seconds the callers always consumed plus the new
+    counters and per-species push stats (ISSUE 8). Reading is the
+    only side effect; the struct is reset at the next pack."""
+    return {
+        "field": dk.t_field, "push": dk.t_push, "sort": dk.t_sort,
+        "sorted": dk.sorts_done > 0, "sorts_done": dk.sorts_done,
+        "counters": {
+            "particles_pushed": dk.particles_pushed,
+            "crossings": dk.crossings,
+            "ghost_folds": dk.ghost_folds,
+            "sort_events": dk.sort_events,
+        },
+        "species": [
+            {"seconds": spp[i].t_push, "pushed": spp[i].pushed,
+             "crossings": spp[i].crossings}
+            for i in range(n_species)],
+    }
 
 
 def step_simulation(sim, sort_interval: int = 0) -> "dict | None":
@@ -1099,17 +1156,17 @@ def step_simulation(sim, sort_interval: int = 0) -> "dict | None":
     ``sort_interval`` > 0 hands the counting sort to the C lane (the
     caller has checked the policy is ``SortKind.STANDARD`` with no
     detail-mode gauges due); 0 leaves any sorting to the caller.
-    Returns per-phase seconds and whether the lane sorted, or
-    ``None`` when no kernel is available.
+    Returns the drained telemetry struct — per-phase seconds,
+    whether the lane sorted, event counters, and measured per-species
+    push stats — or ``None`` when no kernel is available.
     """
     lib = native_push_kernel()
     if lib is None:
         return None
     decks = _pack_cached(sim, sort_interval)
     lib.step_decks(decks, 1)
-    dk = decks[0]
-    return {"field": dk.t_field, "push": dk.t_push,
-            "sort": dk.t_sort, "sorted": dk.sorts_done > 0}
+    spp = sim._native_pack[1][-1]
+    return _deck_stats(decks[0], spp, len(sim.species))
 
 
 def step_batch(sims, num_steps: int) -> "list[dict] | None":
@@ -1135,7 +1192,5 @@ def step_batch(sims, num_steps: int) -> "list[dict] | None":
             interval = 0
         keeps.append(_fill_deck(dk, sim, interval))
     lib.step_decks(decks, num_steps)
-    del keeps
-    return [{"field": dk.t_field, "push": dk.t_push,
-             "sort": dk.t_sort, "sorts_done": dk.sorts_done}
-            for dk in decks]
+    return [_deck_stats(dk, keep[-1], len(sim.species))
+            for dk, keep, sim in zip(decks, keeps, sims)]

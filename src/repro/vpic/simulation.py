@@ -26,9 +26,8 @@ import numpy as np
 from repro.core.sorting import SortKind
 from repro.core.tuning import StepPlan
 from repro.kokkos.atomics import accounting_enabled
-from repro.kokkos.profiling import (add_kernel_time, profiling_region,
-                                    record_kernel)
-from repro.observability.callbacks import tools_active
+from repro.kokkos.profiling import profiling_region, record_kernel
+from repro.observability.callbacks import interposing_tools
 from repro.observability.metrics import default_registry, detail_enabled
 from repro.vpic.boundary import BoundaryKind, apply_particle_boundaries
 from repro.vpic.boris import advance_positions, boris_push, momentum_gamma
@@ -224,10 +223,15 @@ class Simulation:
 
         Stricter than :meth:`_fast_step_ok`: the C step owns the Yee
         solve and ghost handling too, so it additionally needs the
-        plain periodic field solver on float32 fields, no live
-        observability tools (their per-kernel spans need the Python
-        lane), and no atomics accounting. Ineligible steps degrade to
-        the push-scope lane, then numpy — never an error.
+        plain periodic field solver on float32 fields, no
+        *interposing* observability tools, and no atomics accounting.
+        Telemetry-compatible tools (ChromeTracer, CounterTool — any
+        tool marked ``native_telemetry_ok``) do NOT demote the lane:
+        the C step fills a per-phase stats struct that
+        :mod:`repro.observability.native_telemetry` drains into the
+        same spans/metrics/samples after each call. Ineligible steps
+        degrade to the push-scope lane, then numpy — never an error —
+        and :meth:`native_fallback_reason` names the tripped gate.
         """
         plan = self.step_plan
         return (plan.native and plan.native_scope == "step"
@@ -236,8 +240,47 @@ class Simulation:
                 and type(self._solver) is FieldSolver
                 and not self._solver.external_ghosts
                 and np.dtype(self.fields.dtype) == np.float32
-                and not tools_active()
+                and not interposing_tools()
                 and not accounting_enabled())
+
+    def native_fallback_reason(self) -> "str | None":
+        """Why the whole-step native lane will *not* run — or ``None``
+        when it is eligible and a compiled kernel exists.
+
+        The slow, human-readable twin of :meth:`_native_step_ok`,
+        checked gate by gate so a demotion is recorded (flight
+        recorder header, watch panel, ``run-deck`` note) instead of
+        silently measuring the wrong lane.
+        """
+        from repro.vpic import native
+
+        plan = self.step_plan
+        if plan.reference:
+            return "reference StepPlan pinned"
+        if not plan.native:
+            return "StepPlan disables native kernels"
+        if plan.native_scope != "step":
+            return f"StepPlan native_scope={plan.native_scope!r}"
+        if not self._fast_step_ok():
+            return ("fused-lane gates failed (deposition kind, "
+                    "particle boundary, or nonzero origin)")
+        if self.field_boundary is not FieldBoundaryKind.PERIODIC:
+            return f"field boundary {self.field_boundary.name.lower()}"
+        if type(self._solver) is not FieldSolver:
+            return f"custom field solver {type(self._solver).__name__}"
+        if self._solver.external_ghosts:
+            return "externally owned field ghosts (distributed rank)"
+        if np.dtype(self.fields.dtype) != np.float32:
+            return f"{np.dtype(self.fields.dtype).name} fields"
+        tools = interposing_tools()
+        if tools:
+            names = ", ".join(sorted({type(t).__name__ for t in tools}))
+            return f"interposing tool attached: {names}"
+        if accounting_enabled():
+            return "atomics accounting enabled"
+        if not native.native_available():
+            return f"no compiled kernel ({native.native_status()})"
+        return None
 
     def _native_sort_ok(self) -> bool:
         """Whether the C lane may also apply the counting sort: only
@@ -250,12 +293,16 @@ class Simulation:
         """One whole-step native advance (fields + push + sort in C).
 
         Returns particles pushed, or ``None`` when no compiled kernel
-        is available and the caller should take the Python step. Phase
-        durations measured inside C are credited to the same kernel
-        labels the Python lanes use (``field_solve``,
-        ``native_push/<species>``, ``sort/...``), so timing folds and
-        the flight recorder see an unchanged attribution scheme.
+        is available and the caller should take the Python step. The
+        per-phase stats struct the C step filled is drained through
+        :mod:`repro.observability.native_telemetry`: measured phase
+        durations land on the same kernel labels the Python lanes use
+        (``field_solve``, ``native_push/<species>``, ``sort/...``)
+        and are fanned out to any telemetry-compatible tools, so
+        timing folds, tracer spans, counter rows, and the flight
+        recorder all see an unchanged attribution scheme.
         """
+        from repro.observability import native_telemetry
         from repro.vpic import native
 
         sort_native = self._native_sort_ok()
@@ -265,17 +312,8 @@ class Simulation:
             return None
         pushed = self.total_particles
         self.step_count += 1
-        add_kernel_time("field_solve", res["field"])
-        # Per-species attribution (the labels the Python lanes emit),
-        # split by particle count — the C lane times the whole push.
-        for sp in self.species:
-            if sp.n:
-                add_kernel_time(f"native_push/{sp.name}",
-                                res["push"] * sp.n / max(pushed, 1))
-        default_registry().histogram("native/step_seconds").observe(
-            res["push"])
+        native_telemetry.drain_step(self, res)
         if res["sorted"]:
-            add_kernel_time("sort/native", res["sort"])
             reg = default_registry()
             for sp in self.species:
                 if sp.n:
@@ -342,6 +380,7 @@ class Simulation:
         reg.counter("sim/steps").inc()
         reg.counter("sim/particles_pushed").inc(pushed)
         reg.histogram("sim/step_seconds").observe(step_seconds)
+        reg.counter(f"step_lane/{self._lane_taken(native_pushed)}").inc()
         if detail_enabled():
             self._record_energy_drift(reg)
         # Sample before the guard verdict: a step that the guard then
@@ -351,6 +390,21 @@ class Simulation:
             self.recorder.on_step(self, step_seconds)
         if self.guard is not None:
             self.guard.after_step(self)
+
+    def _lane_taken(self, native_pushed: "int | None") -> str:
+        """Which lane the step just ran on — the vocabulary of
+        ``measure_step_throughput`` (``native-step`` / ``native-push``
+        / ``numpy-fused`` / ``reference``), counted per step under
+        ``step_lane/*`` for the dashboard's lane-occupancy panel."""
+        if native_pushed is not None:
+            return "native-step"
+        if self.step_plan.reference:
+            return "reference"
+        from repro.vpic import native
+        if (self._fast_step_ok() and self.step_plan.native
+                and native.native_available()):
+            return "native-push"
+        return "numpy-fused"
 
     def _record_energy_drift(self, reg) -> None:
         """Energy-conservation drift gauge (detail-mode metric).
@@ -371,15 +425,18 @@ class Simulation:
     def step_many(cls, sims, num_steps: int) -> None:
         """Advance every simulation in *sims* by *num_steps* steps.
 
-        The batched fast path: when every sim is whole-step eligible
-        with no guard or recorder attached (those hook every
-        individual step) and a natively sortable (or disabled) sort
-        policy, all decks advance in ONE native call over their packed
-        arenas, round-robin per step. Decks are independent, so the
-        interleaving is byte-identical to stepping them back to back —
-        and so is the graceful fallback, which simply interleaves
-        :meth:`step` calls in the same round-robin order.
+        The batched fast path: every whole-step-eligible sim with no
+        guard or recorder attached (those hook every individual step)
+        and a natively sortable (or disabled) sort policy advances in
+        ONE native call over its packed arena, round-robin per step.
+        Instrumented or ineligible decks are demoted *individually*
+        to interleaved :meth:`step` calls — a recorder on one deck no
+        longer drags the whole batch off the native lane — and their
+        recorders get a ``batch`` metadata event naming which decks
+        ran native. Decks are independent, so any execution order is
+        byte-identical to stepping them back to back.
         """
+        from repro.observability import native_telemetry
         from repro.vpic import native
 
         if num_steps < 0:
@@ -396,30 +453,26 @@ class Simulation:
                          or s.sort_step.kind is SortKind.NONE
                          or s._native_sort_ok()))
 
+        eligible = [batch_ok(s) for s in sims]
+        native_sims = [s for s, ok in zip(sims, eligible) if ok]
+        demoted = [s for s, ok in zip(sims, eligible) if not ok]
         results = None
-        if all(batch_ok(s) for s in sims):
+        if native_sims:
             with profiling_region("step"):
-                results = native.step_batch(sims, num_steps)
+                results = native.step_batch(native_sims, num_steps)
                 if results is not None:
                     reg = default_registry()
-                    for s, res in zip(sims, results):
+                    for s, res in zip(native_sims, results):
                         s.step_count += num_steps
                         reg.counter("sim/steps").inc(num_steps)
                         reg.counter("sim/particles_pushed").inc(
                             s.total_particles * num_steps)
-                        add_kernel_time("field_solve", res["field"])
-                        total = max(s.total_particles, 1)
-                        for sp in s.species:
-                            if sp.n:
-                                add_kernel_time(
-                                    f"native_push/{sp.name}",
-                                    res["push"] * sp.n / total)
-                        reg.histogram("native/step_seconds").observe(
-                            res["push"])
+                        reg.counter("step_lane/native-step").inc(
+                            num_steps)
+                        native_telemetry.drain_batch(s, res, num_steps)
                         n_sorts = res["sorts_done"]
                         live = sum(1 for sp in s.species if sp.n)
                         if n_sorts:
-                            add_kernel_time("sort/native", res["sort"])
                             s.sort_step.sorts_performed += n_sorts * live
                             reg.counter("sort/applied").inc(
                                 n_sorts * live)
@@ -434,9 +487,24 @@ class Simulation:
                             else:
                                 sp.mark_voxels_stale()
         if results is None:
-            for _ in range(num_steps):
-                for s in sims:
-                    s.step()
+            # No compiled kernel: everything interleaves.
+            demoted = sims
+        elif demoted:
+            info = {
+                "decks": len(sims),
+                "steps": num_steps,
+                "native_decks":
+                    [i for i, ok in enumerate(eligible) if ok],
+                "interleaved_decks":
+                    [i for i, ok in enumerate(eligible) if not ok],
+            }
+            for s in demoted:
+                cb = getattr(s.recorder, "on_batch", None)
+                if cb is not None:
+                    cb(s, info)
+        for _ in range(num_steps):
+            for s in demoted:
+                s.step()
 
     def run(self, num_steps: int, diagnostic=None,
             sample_every: int = 1) -> None:

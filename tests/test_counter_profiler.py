@@ -371,7 +371,10 @@ class TestDashboard:
         html_doc = render_dashboard(bundle)
         assert html_doc.startswith("<!DOCTYPE html>")
         assert "http://" not in html_doc and "https://" not in html_doc
-        assert html_doc.count("<svg") == 2  # roofline + rank bars
+        # roofline + rank bars, + the lane-occupancy bar whenever the
+        # run recorded step_lane/* counters
+        has_lanes = "Lane occupancy" in html_doc
+        assert html_doc.count("<svg") == (3 if has_lanes else 2)
         assert "push/electron" in html_doc
         assert "rank 0" in html_doc and "rank 1" in html_doc
         assert "prefers-color-scheme" in html_doc

@@ -129,6 +129,44 @@ def test_native_step_bit_identical_to_numpy_on_every_deck(factory):
         assert np.all(np.abs(a - b) <= ulp), f"{name} beyond 1 ulp"
 
 
+@pytest.mark.parametrize("factory", DECKS)
+def test_native_step_bit_identical_with_telemetry_attached(factory):
+    """100 steps with the full telemetry-compatible stack attached
+    (ChromeTracer + CounterTool + detail metrics + per-step
+    TimeSeriesRecorder) vs 100 bare steps: the drained native
+    telemetry channel reads counters the C step fills anyway, so
+    every particle and field array must stay bit-identical — the
+    observe-without-perturbing contract of ISSUE 8."""
+    from repro.machine.specs import get_platform
+    from repro.observability.callbacks import (register_tool,
+                                               unregister_tool)
+    from repro.observability.counters import CounterTool
+    from repro.observability.metrics import set_detail
+    from repro.observability.timeseries import TimeSeriesRecorder
+    from repro.observability.tracer import ChromeTracer
+
+    steps = 100
+    bare = _run(factory, "step", steps)
+
+    watched = factory(seed=3).build()
+    watched.step_plan = StepPlan(native=True, native_scope="step")
+    recorder = TimeSeriesRecorder(stride=1)
+    recorder.attach(watched)
+    tools = [register_tool(ChromeTracer()),
+             register_tool(CounterTool(get_platform("A100")))]
+    set_detail(True)
+    try:
+        for _ in range(steps):
+            watched.step()
+    finally:
+        set_detail(False)
+        for tool in tools:
+            unregister_tool(tool)
+
+    _assert_sims_identical(bare, watched, "telemetry-on-vs-off")
+    assert len(recorder.samples()) == steps
+
+
 def test_native_step_batch_used_by_default_plan():
     """The default plan selects the whole-step scope and the lane
     actually engages on a plain periodic f32 deck."""

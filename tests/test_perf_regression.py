@@ -23,6 +23,7 @@ BASELINE = Path(__file__).resolve().parent.parent / "BENCH_2.json"
 PROFILE_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_3.json"
 STEP_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_5.json"
 WHOLE_STEP_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_7.json"
+TELEMETRY_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_8.json"
 
 
 @pytest.mark.perf
@@ -140,3 +141,49 @@ def test_whole_step_lane_not_silently_downgraded():
         f"below 2.5x means it has fallen back to per-kernel "
         f"stepping — check native_status() and the _native_step_ok "
         f"gates")
+
+
+@pytest.mark.perf
+def test_telemetry_on_native_lane_not_regressed():
+    """With the full telemetry-compatible stack attached (tracer +
+    counters + detail metrics + per-step recorder), the whole-step
+    native lane must stay selected and beat the recorded BENCH_8
+    reference by at least 2.5x on the uniform deck. This trips when
+    an observability change re-interposes on the native lane (a tool
+    losing its ``native_telemetry_ok`` marker, the drain getting
+    expensive, a gate demoting telemetered runs again). Best of
+    three."""
+    if not TELEMETRY_BASELINE.exists():
+        pytest.skip("no BENCH_8.json baseline recorded "
+                    "(run scripts/bench_step.py --telemetry)")
+    from repro.vpic.native import native_available
+    if not native_available():
+        pytest.skip("no C compiler: the whole-step lane cannot engage")
+
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "bench_step",
+        Path(__file__).resolve().parent.parent
+        / "scripts" / "bench_step.py")
+    bench_step = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(bench_step)
+
+    record = json.loads(TELEMETRY_BASELINE.read_text())
+    ref8 = float(
+        record["decks"]["uniform"]["reference_seconds_per_step"])
+
+    from repro.core.tuning import StepPlan
+    runs = [bench_step._telemetry_run("uniform", 15, StepPlan())
+            for _ in range(3)]
+    assert runs[0]["lane"] == "native-step", (
+        f"telemetered default plan stepped through lane "
+        f"{runs[0]['lane']!r} instead of the whole-step native lane "
+        f"— an attached tool is interposing again")
+    best = min(r["seconds_per_step"] for r in runs)
+    speedup = ref8 / best
+    assert speedup >= 2.5, (
+        f"telemetry-on whole-step lane is only {speedup:.2f}x the "
+        f"BENCH_8 reference ({best * 1e3:.2f} ms/step vs "
+        f"{ref8 * 1e3:.2f}); the drained telemetry channel has "
+        f"gotten expensive or the lane silently demoted — check "
+        f"native_fallback_reason() and drain_stats()")
