@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Fixed-seed fuzz smoke sweep for CI.
+
+Runs a small, deterministic slice of the deck-fuzzer campaign
+(``--runs`` decks at ``--seed``, default 25 @ seed 0) plus a replay
+of the committed regression corpus, and classifies the outcomes:
+
+- ``ok``      — deck ran its full length under the raise-policy guard;
+- ``guard``   — a physics check tripped. Expected for the awkward
+  corners the generator deliberately samples (cold beams and coarse
+  grids grid-heat; that is the oracle working), so guard findings are
+  REPORTED but do not fail the sweep;
+- ``error``   — a Python exception escaped a kernel. Always a bug:
+  the generator's contract is valid decks only. Fails the sweep.
+
+A corpus entry that replays to the wrong verdict also fails the
+sweep: those are triaged findings whose behavior must not move.
+
+    PYTHONPATH=src python scripts/fuzz_sweep.py
+    PYTHONPATH=src python scripts/fuzz_sweep.py --runs 100 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+from repro.fuzz import (DeckGenerator, default_corpus_dir, load_corpus,
+                        replay_entry, run_deck)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--runs", type=int, default=25)
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    counts: Counter[str] = Counter()
+    errors = []
+    for index, deck in DeckGenerator(args.seed).decks(args.runs):
+        result = run_deck(deck)
+        counts[result.status] += 1
+        if result.status == "guard":
+            print(f"  guard {result.headline()}")
+        elif result.status == "error":
+            errors.append(result)
+            print(f"  ERROR {result.headline()}")
+    print(f"sweep: {counts['ok']} ok, {counts['guard']} guard, "
+          f"{counts['error']} error of {args.runs} decks (seed {args.seed})")
+
+    corpus_bad = 0
+    entries = load_corpus(default_corpus_dir())
+    for entry in entries:
+        ok, result = replay_entry(entry)
+        if not ok:
+            corpus_bad += 1
+            got = (result.headline() if result is not None
+                   else "invalid (rejected)")
+            print(f"  CORPUS MISMATCH {entry.path}: "
+                  f"expected {entry.expect!r}, got {got}")
+    print(f"corpus: {len(entries) - corpus_bad}/{len(entries)} "
+          "entries replay to their triaged verdict")
+
+    if errors or corpus_bad:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,23 +39,17 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
-_DECKS = ("uniform", "two-stream", "weibel", "laser-plasma", "harris")
+def _deck_choices() -> tuple[str, ...]:
+    from repro.vpic.workloads import registered_decks
+    return registered_decks()
+
+
+_DECKS = _deck_choices()
 
 
 def _deck_factory(name: str, steps: int | None, seed: int):
-    from repro.vpic import workloads as w
-    factories = {
-        "uniform": lambda: w.uniform_plasma_deck(seed=seed),
-        "two-stream": lambda: w.two_stream_deck(seed=seed),
-        "weibel": lambda: w.weibel_deck(seed=seed),
-        "laser-plasma": lambda: w.laser_plasma_deck(seed=seed),
-        "harris": lambda: w.harris_sheet_deck(seed=seed),
-    }
-    deck = factories[name]()
-    if steps is not None:
-        from dataclasses import replace
-        deck = replace(deck, num_steps=steps)
-    return deck
+    from repro.vpic.workloads import make_deck
+    return make_deck(name, steps=steps, seed=seed)
 
 
 def _run_deck_batch(args, count: int) -> int:
@@ -437,18 +431,35 @@ def cmd_checkpoint(args) -> int:
     return 0 if match else 1
 
 
+def _lane_plan(lane: str):
+    from repro.core.tuning import StepPlan
+    return {
+        "numpy": lambda: StepPlan(native=False, fused=False),
+        "push": lambda: StepPlan(native_scope="push"),
+        "native": lambda: StepPlan(),
+        "reference": StepPlan.reference_plan,
+    }[lane]()
+
+
 def cmd_validate(args) -> int:
     from repro.observability.metrics import default_registry
     from repro.validate import GuardViolationError, SimulationGuard
 
     deck = _deck_factory(args.deck, args.steps, args.seed)
     sim = deck.build()
+    lane = getattr(args, "lane", None)
+    if lane is not None:
+        sim.step_plan = _lane_plan(lane)
     guard = SimulationGuard(policy=args.policy,
                             checkpoint_interval=args.checkpoint_interval)
     guard.attach(sim)
     print(f"validating deck '{deck.name}': {sim.grid.n_cells} cells, "
           f"{sim.total_particles} particles, {deck.num_steps} steps, "
-          f"policy={args.policy}")
+          f"policy={args.policy}"
+          + (f", lane={lane}" if lane else ""))
+    fallback = sim.native_fallback_reason()
+    if fallback is not None:
+        print(f"note: whole-step native lane off — {fallback}")
     default_registry().reset()
     try:
         sim.run(deck.num_steps)
@@ -463,6 +474,62 @@ def cmd_validate(args) -> int:
         from repro.validate import measure_guard_overhead
         print(measure_guard_overhead(deck=deck, steps=args.steps or 10,
                                      policy=args.policy).format())
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    import os
+
+    from repro.fuzz import (CorpusEntry, DeckGenerator, minimize,
+                            run_deck, save_entry)
+    from repro.vpic.deck import Deck
+
+    gen = DeckGenerator(seed=args.seed)
+    print(f"fuzzing {args.runs} decks (seed {args.seed}, "
+          f"guard=raise, full deck length each)")
+    failures = []
+    lanes: dict[str, int] = {}
+    for i, deck in gen.decks(args.runs):
+        result = run_deck(deck)
+        lane = result.lane if result.lane == "native-step" else "demoted"
+        lanes[lane] = lanes.get(lane, 0) + 1
+        if result.failed:
+            failures.append(result)
+            print(f"  FAIL {result.headline()}")
+    print(f"{args.runs - len(failures)}/{args.runs} ok "
+          f"({lanes.get('native-step', 0)} on the native lane, "
+          f"{lanes.get('demoted', 0)} demoted); "
+          f"{len(failures)} failures")
+    for result in failures:
+        entry_deck = result.deck
+        entry_result = result
+        if args.minimize:
+            report = minimize(result)
+            entry_deck = report.minimized
+            entry_result = report.result
+            print(f"\nminimized {result.deck['name']}: "
+                  f"{report.reduction()} ({report.runs_used} reruns)")
+            print(f"  {report.result.headline()}")
+            print("  reproducer: "
+                  + Deck.from_dict(report.minimized).to_json(indent=None))
+        if args.record_dir is not None:
+            run_dir = os.path.join(args.record_dir,
+                                   entry_deck["name"])
+            rerun = run_deck(Deck.from_dict(entry_deck),
+                             record_dir=run_dir)
+            if rerun.failed:
+                print(f"  crash dump -> {run_dir}/crash.json")
+        if args.save_corpus is not None:
+            key = (f"guard:{entry_result.check}"
+                   if entry_result.status == "guard" else
+                   "error:" + (entry_result.message or "?").split("(")[0])
+            path = save_entry(
+                CorpusEntry(deck=entry_deck, expect=key,
+                            note="fuzz finding (untriaged): edit "
+                                 "'expect'/'note' after root-causing",
+                            found=entry_result.to_dict()),
+                args.save_corpus)
+            print(f"  corpus entry -> {path}")
     return 0
 
 
@@ -621,7 +688,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "policy; default 20 steps)")
     p.add_argument("--overhead", action="store_true",
                    help="also measure guard overhead vs an unguarded run")
+    p.add_argument("--lane", default=None,
+                   choices=("numpy", "push", "native", "reference"),
+                   help="pin the step lane instead of letting the "
+                        "plan gates pick (numpy: pure-python step; "
+                        "push: native push kernel only; native: "
+                        "whole-step native; reference: "
+                        "kernel-by-kernel reference path)")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "fuzz", help="guard-driven deck fuzzer")
+    p.add_argument("--runs", type=int, default=50,
+                   help="number of randomized decks (default 50)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator seed; (seed, index) reproduces "
+                        "any deck exactly")
+    p.add_argument("--minimize", action="store_true",
+                   help="delta-debug each failure to a minimal "
+                        "reproducer")
+    p.add_argument("--record-dir", metavar="DIR", default=None,
+                   help="re-run each failure under a flight recorder "
+                        "and dump DIR/<deck>/crash.json")
+    p.add_argument("--save-corpus", metavar="DIR", default=None,
+                   help="write each failure as an untriaged corpus "
+                        "entry under DIR (e.g. tests/corpus)")
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

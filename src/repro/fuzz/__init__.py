@@ -1,0 +1,30 @@
+"""Guard-driven deck fuzzer with auto-minimized bug reports.
+
+The pipeline (exposed as ``repro fuzz``):
+
+1. :mod:`~repro.fuzz.generator` — seeded stream of randomized valid
+   decks covering grid/species/boundary/plan corners;
+2. :mod:`~repro.fuzz.runner` — executes each deck to completion under
+   ``SimulationGuard(policy="raise")``, recording the step lane taken
+   and classifying ok / guard-trip / error;
+3. :mod:`~repro.fuzz.minimize` — delta-debugs failures down to
+   minimal reproducers (same failure key, far smaller deck);
+4. :mod:`~repro.fuzz.corpus` — persists triaged findings as
+   ``tests/corpus/*.json``, replayed by pytest forever after.
+
+The physics guard is the oracle: any *valid* deck that trips a
+conservation check or crashes a kernel is a bug worth a minimized
+report, no hand-written expected-output needed.
+"""
+
+from repro.fuzz.corpus import (CorpusEntry, default_corpus_dir,
+                               load_corpus, replay_entry, save_entry)
+from repro.fuzz.generator import DeckGenerator, random_deck
+from repro.fuzz.minimize import MinimizeReport, minimize
+from repro.fuzz.runner import FuzzResult, failure_key, run_deck
+
+__all__ = [
+    "CorpusEntry", "DeckGenerator", "FuzzResult", "MinimizeReport",
+    "default_corpus_dir", "failure_key", "load_corpus", "minimize",
+    "random_deck", "replay_entry", "run_deck", "save_entry",
+]

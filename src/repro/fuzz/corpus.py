@@ -1,0 +1,126 @@
+"""The persisted regression corpus: fuzz findings that must stay fixed.
+
+Every triaged fuzz failure becomes one JSON file under
+``tests/corpus/`` holding the (minimized) deck, what it tripped when
+it was found, and what the replay now expects:
+
+- ``"expect": "pass"`` — the bug was fixed; the deck must run green
+  under ``guard=raise`` forever after (the normal regression entry);
+- ``"expect": "guard:<check>"`` — the failure is accepted as a known
+  physical limitation of the deck (documented in ``note``); the
+  replay asserts the guard still catches it with the same check —
+  if it stops tripping, either the physics improved (promote to
+  ``pass``) or the guard went blind (a bug either way: look).
+
+``pytest tests/test_fuzz_corpus.py`` replays every entry; ``repro
+fuzz`` appends new ones. The corpus is the fuzzer's long-term memory:
+a kernel regression that resurrects an old bug fails CI with the
+original minimized reproducer attached.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from repro.fuzz.runner import FuzzResult, run_deck
+from repro.vpic.deck import Deck
+
+__all__ = ["CorpusEntry", "save_entry", "load_corpus", "replay_entry",
+           "default_corpus_dir"]
+
+_SLUG = re.compile(r"[^a-z0-9-]+")
+
+
+def default_corpus_dir() -> str:
+    """``tests/corpus`` next to this package's repo checkout, or the
+    ``REPRO_CORPUS_DIR`` override."""
+    env = os.environ.get("REPRO_CORPUS_DIR")
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.normpath(
+        os.path.join(here, "..", "..", "..", "tests", "corpus"))
+
+
+class CorpusEntry:
+    """One corpus file: a deck plus its expectation."""
+
+    def __init__(self, deck: dict, expect: str, note: str = "",
+                 found: dict | None = None, path: str | None = None):
+        if not (expect in ("pass", "invalid")
+                or expect.startswith("guard:")
+                or expect.startswith("error:")):
+            raise ValueError(
+                f"expect must be 'pass', 'invalid', 'guard:<check>' "
+                f"or 'error:<type>', got {expect!r}")
+        self.deck = deck
+        self.expect = expect
+        self.note = note
+        self.found = found or {}
+        self.path = path
+
+    def to_dict(self) -> dict:
+        return {"deck": self.deck, "expect": self.expect,
+                "note": self.note, "found": self.found}
+
+    @classmethod
+    def from_dict(cls, data: dict, path: str | None = None):
+        return cls(deck=data["deck"], expect=data["expect"],
+                   note=data.get("note", ""),
+                   found=data.get("found"), path=path)
+
+
+def save_entry(entry: CorpusEntry, corpus_dir: str | None = None) -> str:
+    """Write *entry* as ``<corpus>/<deck-name>.json``; returns path."""
+    corpus_dir = corpus_dir or default_corpus_dir()
+    os.makedirs(corpus_dir, exist_ok=True)
+    slug = _SLUG.sub("-", entry.deck["name"].lower()).strip("-")
+    path = os.path.join(corpus_dir, f"{slug}.json")
+    with open(path, "w") as fh:
+        json.dump(entry.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    entry.path = path
+    return path
+
+
+def load_corpus(corpus_dir: str | None = None) -> list[CorpusEntry]:
+    """All corpus entries, sorted by filename for stable replay order."""
+    corpus_dir = corpus_dir or default_corpus_dir()
+    if not os.path.isdir(corpus_dir):
+        return []
+    entries = []
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(corpus_dir, name)
+        with open(path) as fh:
+            entries.append(CorpusEntry.from_dict(json.load(fh), path))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry) -> tuple[bool, FuzzResult]:
+    """Re-run one corpus deck and judge it against its expectation.
+
+    Returns ``(ok, result)`` — ``ok`` is False when the replay
+    diverges from what the corpus says must happen. ``result`` is
+    None for ``invalid`` entries (construction-rejection findings:
+    the deck must keep failing validation, so there is no run).
+    """
+    if entry.expect == "invalid":
+        try:
+            Deck.from_dict(entry.deck)
+        except ValueError:
+            return (True, None)
+        return (False, None)
+    result = run_deck(Deck.from_dict(entry.deck))
+    if entry.expect == "pass":
+        return (result.status == "ok", result)
+    kind, _, detail = entry.expect.partition(":")
+    if kind == "guard":
+        return (result.status == "guard" and result.check == detail,
+                result)
+    # error:<ExceptionType>
+    got = (result.message or "").split("(")[0]
+    return (result.status == "error" and got == detail, result)

@@ -1,0 +1,163 @@
+"""Seeded generator of randomized *valid* simulation decks.
+
+The fuzzer explores the deck parameter space the way a user (or a
+campaign planner) might: every generated deck passes the
+construction-time validation in :class:`~repro.vpic.deck.Deck` — the
+generator's contract is "valid inputs only", so anything that later
+trips the physics guard or crashes a kernel is a simulation bug, not
+a generator bug. Decks are pure data (no callables, no sources), so
+every generated deck JSON round-trips into the regression corpus.
+
+The sampled dimensions deliberately include the awkward corners:
+
+- degenerate grid shapes (``ny=1`` / ``nz=1`` slabs, quasi-1D bars)
+  that stress the native lane's indexing and the ghost-layer folds;
+- explicit ``dt`` at a range of Courant margins, including 0.99x;
+- 1-particle-per-cell species and multi-species mixes with heavy
+  ions;
+- every boundary x deposition x sort-plan combination the decks
+  expose.
+
+Generation is a pure function of ``(seed, index)`` — the same pair
+always yields the same deck, so a one-line report reproduces any
+failure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.sorting import SortKind
+from repro.vpic.boundary import BoundaryKind
+from repro.vpic.deck import Deck, DepositionKind, FieldBoundaryKind, \
+    SpeciesConfig
+
+__all__ = ["DeckGenerator", "random_deck"]
+
+#: Grid-shape families with sampling weights: cubes are the common
+#: case, but slabs and bars (degenerate axes) get real coverage.
+_SHAPE_FAMILIES = (
+    ("cube", 0.4),     # nx = ny = nz
+    ("box", 0.2),      # independent small axes
+    ("slab", 0.2),     # one axis = 1
+    ("bar", 0.2),      # two axes = 1 (quasi-1D)
+)
+
+_SORT_KINDS = (SortKind.STANDARD, SortKind.STRIDED,
+               SortKind.TILED_STRIDED, SortKind.RANDOM, SortKind.NONE)
+
+
+def _pick(rng: np.random.Generator, pairs):
+    names = [n for n, _ in pairs]
+    weights = np.array([w for _, w in pairs], dtype=np.float64)
+    return names[int(rng.choice(len(names), p=weights / weights.sum()))]
+
+
+def _sample_shape(rng: np.random.Generator) -> tuple[int, int, int]:
+    family = _pick(rng, _SHAPE_FAMILIES)
+    def axis():
+        return int(rng.integers(2, 13))
+    if family == "cube":
+        n = axis()
+        return n, n, n
+    if family == "box":
+        return axis(), axis(), axis()
+    if family == "slab":
+        flat = int(rng.integers(0, 3))
+        dims = [axis(), axis(), axis()]
+        dims[flat] = 1
+        return tuple(dims)
+    # bar: one long axis, two degenerate
+    keep = int(rng.integers(0, 3))
+    dims = [1, 1, 1]
+    dims[keep] = int(rng.integers(4, 33))
+    return tuple(dims)
+
+
+def _sample_species(rng: np.random.Generator,
+                    cell_volume: float) -> tuple[SpeciesConfig, ...]:
+    n_species = int(rng.integers(1, 4))
+    out = []
+    for i in range(n_species):
+        uth = float(rng.choice([0.0, 0.01, 0.05, 0.1]))
+        drift = [0.0, 0.0, 0.0]
+        if rng.random() < 0.4:
+            drift[int(rng.integers(0, 3))] = round(
+                float(rng.uniform(-0.4, 0.4)), 3)
+        if i == 0:
+            q, m, name = -1.0, 1.0, "electron"
+        else:
+            q = float(rng.choice([-1.0, 1.0]))
+            m = float(rng.choice([1.0, 4.0, 25.0, 100.0]))
+            name = f"species{i}"
+        ppc = int(rng.choice([1, 2, 4, 8]))
+        # Sample the plasma frequency, not the raw weight: weight is
+        # an *absolute* charge, so a fixed range would make density
+        # (and w_pe dt) blow up as cell volume shrinks, and every
+        # small-dx deck would just re-trip the energy oracle on
+        # under-resolved plasma oscillation. Normalizing to
+        # w_pe in [0.5, 1.5] keeps decks in the physical regime the
+        # guard is calibrated for, so surviving failures point at
+        # code bugs; the cold / 1-ppc corners still exercise the
+        # finite-grid-heating oracle.
+        wpe = float(rng.uniform(0.5, 1.5))
+        out.append(SpeciesConfig(
+            name=name, q=q, m=m, ppc=ppc,
+            uth=uth, drift=tuple(drift),
+            weight=round(wpe**2 * cell_volume / ppc, 9)))
+    return tuple(out)
+
+
+def random_deck(seed: int, index: int) -> Deck:
+    """The deck for ``(seed, index)`` — pure and deterministic."""
+    rng = np.random.default_rng((seed, index))
+    nx, ny, nz = _sample_shape(rng)
+    dx = round(float(rng.uniform(0.25, 1.5)), 3)
+    dy = round(float(rng.uniform(0.25, 1.5)), 3)
+    dz = round(float(rng.uniform(0.25, 1.5)), 3)
+    # dt: auto (Grid's 0.95x Courant default) or an explicit margin,
+    # up to 0.99x the 3-D Courant limit.
+    dt = 0.0
+    if rng.random() < 0.5:
+        courant = 1.0 / math.sqrt(1 / dx**2 + 1 / dy**2 + 1 / dz**2)
+        dt = round(float(rng.choice([0.3, 0.6, 0.9, 0.99])) * courant, 6)
+    sort_kind = _SORT_KINDS[int(rng.integers(0, len(_SORT_KINDS)))]
+    sort_interval = int(rng.choice([0, 1, 5, 20]))
+    sort_tile_size = int(rng.choice([0, 0, 256, 4096]))
+    if sort_kind is SortKind.TILED_STRIDED and sort_tile_size <= 0:
+        # Deck construction (rightly) rejects a tiled plan with no
+        # tile size; the generator's contract is valid decks only.
+        sort_tile_size = int(rng.choice([256, 4096]))
+    return Deck(
+        name=f"fuzz-{seed}-{index}",
+        nx=nx, ny=ny, nz=nz, dx=dx, dy=dy, dz=dz, dt=dt,
+        num_steps=int(rng.integers(8, 25)),
+        species=_sample_species(rng, dx * dy * dz),
+        boundary=BoundaryKind.PERIODIC if rng.random() < 0.7
+        else BoundaryKind.REFLECTING,
+        field_boundary=FieldBoundaryKind.PERIODIC if rng.random() < 0.7
+        else FieldBoundaryKind.ABSORBING_X,
+        deposition=DepositionKind.CIC if rng.random() < 0.5
+        else DepositionKind.ESIRKEPOV,
+        sort_kind=sort_kind,
+        sort_interval=sort_interval,
+        sort_tile_size=sort_tile_size,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+class DeckGenerator:
+    """Iterate decks for a fuzzing campaign: ``decks(n)`` yields the
+    decks for indices ``0..n-1`` under this generator's seed."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def deck(self, index: int) -> Deck:
+        return random_deck(self.seed, index)
+
+    def decks(self, n: int):
+        for i in range(n):
+            yield i, self.deck(i)

@@ -1,0 +1,117 @@
+"""Delta-debugging minimizer: shrink a failing deck to a reproducer.
+
+A fuzz finding on a 12x9x11 three-species deck is hard to debug; the
+same failure on a 4-cell one-species deck is an afternoon fix. The
+minimizer greedily applies shrinking transformations — halve the run
+length, halve grid axes, drop species, halve ppc, normalize every
+parameter toward its default — and keeps a transformation only if
+the shrunk deck still fails with the same :func:`failure key
+<repro.fuzz.runner.failure_key>` (same guard check or same exception
+type; the failing *step* may move, smaller systems fail sooner or
+later). It iterates to a fixpoint: the result is 1-minimal in the
+sense of delta debugging — no single remaining transformation
+preserves the failure.
+
+Every candidate goes through ``Deck.from_dict``, so an invalid shrink
+(e.g. halving below a validation floor) is skipped rather than run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.runner import FuzzResult, failure_key, run_deck
+from repro.vpic.deck import Deck
+
+__all__ = ["minimize", "MinimizeReport"]
+
+
+@dataclass(frozen=True)
+class MinimizeReport:
+    """Outcome of one minimization."""
+
+    original: dict       # the deck as the fuzzer found it
+    minimized: dict      # the smallest deck that still fails
+    result: FuzzResult   # the minimized deck's failure
+    runs_used: int       # reruns spent shrinking
+
+    def reduction(self) -> str:
+        def size(d):
+            cells = d["nx"] * d["ny"] * d["nz"]
+            ppc = sum(s["ppc"] for s in d["species"])
+            return cells, len(d["species"]), cells * ppc, d["num_steps"]
+        c0, s0, p0, t0 = size(self.original)
+        c1, s1, p1, t1 = size(self.minimized)
+        return (f"{c0} -> {c1} cells, {s0} -> {s1} species, "
+                f"~{p0} -> ~{p1} particles, {t0} -> {t1} steps")
+
+
+def _candidates(d: dict):
+    """Yield shrunk copies of deck-dict *d*, biggest cuts first."""
+    def with_(**kw):
+        out = dict(d)
+        out.update(kw)
+        return out
+
+    for axis in ("nx", "ny", "nz"):
+        if d[axis] > 1:
+            yield with_(**{axis: max(1, d[axis] // 2)})
+            yield with_(**{axis: d[axis] - 1})
+    if d["num_steps"] > 1:
+        yield with_(num_steps=max(1, d["num_steps"] // 2))
+        yield with_(num_steps=d["num_steps"] - 1)
+    if len(d["species"]) > 1:
+        for i in range(len(d["species"])):
+            yield with_(species=[s for j, s in enumerate(d["species"])
+                                 if j != i])
+    for i, sp in enumerate(d["species"]):
+        if sp["ppc"] > 1:
+            shrunk = dict(sp, ppc=max(1, sp["ppc"] // 2))
+            yield with_(species=[shrunk if j == i else s
+                                 for j, s in enumerate(d["species"])])
+        if any(sp.get("drift", (0, 0, 0))):
+            flat = dict(sp, drift=[0.0, 0.0, 0.0])
+            yield with_(species=[flat if j == i else s
+                                 for j, s in enumerate(d["species"])])
+    # Normalize everything else toward defaults, one field at a time.
+    defaults = {"dx": 1.0, "dy": 1.0, "dz": 1.0, "dt": 0.0,
+                "boundary": "periodic", "field_boundary": "periodic",
+                "sort_kind": "standard", "sort_interval": 0,
+                "sort_tile_size": 0, "seed": 0}
+    for k, v in defaults.items():
+        if d.get(k) != v:
+            yield with_(**{k: v})
+
+
+def minimize(failing: FuzzResult, max_runs: int = 200,
+             progress=None) -> MinimizeReport:
+    """Shrink *failing*'s deck while it keeps the same failure key."""
+    if not failing.failed:
+        raise ValueError("minimize() needs a failing FuzzResult, got "
+                         f"status={failing.status!r}")
+    target = failure_key(failing)
+    current = dict(failing.deck)
+    best = failing
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for cand in _candidates(current):
+            if runs >= max_runs:
+                break
+            try:
+                deck = Deck.from_dict(cand)
+            except ValueError:
+                continue
+            runs += 1
+            result = run_deck(deck)
+            if result.failed and failure_key(result) == target:
+                current = cand
+                best = result
+                improved = True
+                if progress is not None:
+                    progress(f"  shrink kept: {result.headline()}")
+                break   # restart from the biggest cuts
+    return MinimizeReport(original=dict(failing.deck),
+                          minimized=current, result=best,
+                          runs_used=runs)

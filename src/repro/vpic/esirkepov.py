@@ -44,15 +44,28 @@ STENCIL = 3
 
 
 def _cells_and_fracs(grid: Grid, pos: np.ndarray, lo: float, d: float,
-                     n_interior: int):
+                     n_interior: int, interior: bool = False):
     """Ghost-based cell index and in-cell fraction along one axis.
 
     New endpoints may lie up to one cell outside the box (deposition
     runs before the boundary wraps positions), so cells 0 and n+1
-    (the ghost layers) are valid here.
+    (the ghost layers) are valid for them. *Start* endpoints are
+    post-wrap positions and must pass ``interior=True``: a particle
+    sitting exactly on the high box edge (a float32 wrap artifact —
+    the low-side wrap ``x + L`` can round up to exactly ``x_hi``)
+    then bins into the top interior cell, matching
+    :meth:`~repro.vpic.grid.Grid.cell_of_position` and hence the
+    charge density every other kernel sees. Without this clamp the
+    start charge lands in the high ghost (periodic image), and the
+    continuity ledger shows charge crossing the boundary with no
+    current — the guard's continuity check catches it as a ~1-cell
+    residual spike.
     """
     coord = (np.asarray(pos, dtype=np.float64) - lo) / d
-    coord = np.clip(coord, -1.0 + 1e-9, n_interior + 1.0 - 1e-9)
+    if interior:
+        coord = np.clip(coord, 0.0, n_interior - 1e-9)
+    else:
+        coord = np.clip(coord, -1.0 + 1e-9, n_interior + 1.0 - 1e-9)
     cell = np.floor(coord).astype(np.int64) + 1
     return cell, coord - (cell - 1)
 
@@ -95,9 +108,9 @@ def deposit_current_esirkepov(fields: FieldArrays,
     if n == 0:
         return
 
-    px0, fx0 = _cells_and_fracs(g, x0, g.x0, g.dx, g.nx)
-    py0, fy0 = _cells_and_fracs(g, y0, g.y0, g.dy, g.ny)
-    pz0, fz0 = _cells_and_fracs(g, z0, g.z0, g.dz, g.nz)
+    px0, fx0 = _cells_and_fracs(g, x0, g.x0, g.dx, g.nx, interior=True)
+    py0, fy0 = _cells_and_fracs(g, y0, g.y0, g.dy, g.ny, interior=True)
+    pz0, fz0 = _cells_and_fracs(g, z0, g.z0, g.dz, g.nz, interior=True)
     px1, fx1 = _cells_and_fracs(g, x1, g.x0, g.dx, g.nx)
     py1, fy1 = _cells_and_fracs(g, y1, g.y0, g.dy, g.ny)
     pz1, fz1 = _cells_and_fracs(g, z1, g.z0, g.dz, g.nz)

@@ -156,7 +156,10 @@ def fused_push_species(fields: FieldArrays, sp: Species,
         xs = (x[s:e], y[s:e], z[s:e])
         us = (ux_a[s:e], uy_a[s:e], uz_a[s:e])
         ws = wq[s:e]
-        # --- cell indices (float64 chain, as Grid.cell_of_position) ---
+        # --- cell indices + in-cell fractions (one float64 chain, as
+        # Grid.cell_of_position / cell_fraction: the fraction derives
+        # from the SAME clipped coordinate as the cell so the pair is
+        # consistent for particles sitting exactly on a box edge) ---
         for a in range(3):
             p = P[:t]
             np.copyto(p, xs[a])
@@ -165,6 +168,10 @@ def fused_push_species(fields: FieldArrays, sp: Species,
             p /= deltas[a]
             np.clip(p, 0, ncell[a] - eps, out=p)
             np.copyto(I3[a][:t], p, casting="unsafe")
+            # p >= 0, so the truncating int copy above IS floor(p).
+            p -= I3[a][:t]
+            np.copyto(FR[a][:t], p, casting="unsafe")
+            np.subtract(F32(1.0), FR[a][:t], out=GR[a][:t])
         base = K8[0][:t]
         np.multiply(I3[0][:t], sy, out=base)
         base += I3[1][:t]
@@ -173,17 +180,6 @@ def fused_push_species(fields: FieldArrays, sp: Species,
         base += shift
         for k in range(1, 8):
             np.add(base, offs[k], out=K8[k][:t])
-        # --- in-cell fractions (float32 chain, as Grid.cell_fraction) ---
-        for a in range(3):
-            f = FR[a][:t]
-            if origin[a] != 0.0:
-                np.subtract(xs[a], F32(origin[a]), out=f)
-                f /= F32(deltas[a])
-            else:
-                np.divide(xs[a], F32(deltas[a]), out=f)
-            np.floor(f, out=TMP[:t])
-            f -= TMP[:t]
-            np.subtract(F32(1.0), f, out=GR[a][:t])
         fx, fy, fz = FR[0][:t], FR[1][:t], FR[2][:t]
         gx, gy, gz = GR[0][:t], GR[1][:t], GR[2][:t]
         # --- gather: one 8-row take per component + factored trilinear,

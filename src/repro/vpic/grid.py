@@ -133,8 +133,26 @@ class Grid:
         return self.voxel(ix, iy, iz)
 
     def cell_fraction(self, x, y, z):
-        """Offsets within the cell in [0, 1) per axis."""
-        xi = (np.asarray(x) - self.x0) / self.dx
-        yi = (np.asarray(y) - self.y0) / self.dy
-        zi = (np.asarray(z) - self.z0) / self.dz
+        """Offsets within the cell in [0, 1) per axis.
+
+        Clipped into the interior with the same bounds as
+        :meth:`cell_of_position` so the (cell, fraction) pair is
+        consistent for every position. Without the shared clip, a
+        particle sitting exactly on the high box edge (a float32
+        periodic-wrap artifact: the low-side wrap ``x + L`` can round
+        up to exactly ``x_hi``) gets cell ``n`` from the clipped index
+        but fraction ``0.0`` from the raw coordinate — placing its
+        whole CIC cloud one full cell inside the boundary. The
+        mismatch misdeposits charge/current and misgathers fields for
+        edge particles; the guard's continuity check catches it on
+        charge-conserving decks as a paired +/- residual spike across
+        the periodic boundary.
+        """
+        eps = 1e-9
+        xf = np.asarray(x, dtype=np.float64)
+        yf = np.asarray(y, dtype=np.float64)
+        zf = np.asarray(z, dtype=np.float64)
+        xi = np.clip((xf - self.x0) / self.dx, 0, self.nx - eps)
+        yi = np.clip((yf - self.y0) / self.dy, 0, self.ny - eps)
+        zi = np.clip((zf - self.z0) / self.dz, 0, self.nz - eps)
         return xi - np.floor(xi), yi - np.floor(yi), zi - np.floor(zi)

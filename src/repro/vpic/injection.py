@@ -38,11 +38,19 @@ class LaserAntenna:
         interior cell).
     polarization:
         "y" (Ey/Bz) or "z" (Ez/By).
+    grid:
+        When given, ``plane_index`` is range-checked against it at
+        construction — a bad antenna fails *here* with a clear
+        :class:`ValueError`, not mid-run after the field advance has
+        already mutated state. Decks that attach the antenna via
+        ``Deck.sources`` get the same check at build time through
+        :meth:`bind`.
     """
 
     def __init__(self, amplitude: float, omega: float,
                  t_rise: float, t_flat: float,
-                 plane_index: int = 1, polarization: str = "y"):
+                 plane_index: int = 1, polarization: str = "y",
+                 grid=None):
         check_positive("amplitude", amplitude)
         check_positive("omega", omega)
         check_positive("t_rise", t_rise)
@@ -51,12 +59,36 @@ class LaserAntenna:
         if polarization not in ("y", "z"):
             raise ValueError(f"polarization must be 'y' or 'z', "
                              f"got {polarization!r}")
+        if not isinstance(plane_index, int) or isinstance(plane_index, bool):
+            raise ValueError(f"plane_index must be an int, "
+                             f"got {plane_index!r}")
+        if plane_index < 1:
+            raise ValueError(f"plane_index must be >= 1 (first interior "
+                             f"cell), got {plane_index}")
         self.amplitude = amplitude
         self.omega = omega
         self.t_rise = t_rise
         self.t_flat = t_flat
         self.plane_index = plane_index
         self.polarization = polarization
+        if grid is not None:
+            self._check_plane(grid)
+
+    def _check_plane(self, grid) -> None:
+        if not 1 <= self.plane_index <= grid.nx:
+            raise ValueError(
+                f"plane_index {self.plane_index} outside interior "
+                f"[1, {grid.nx}]")
+
+    def bind(self, sim) -> None:
+        """Attach-time validation against the simulation's grid (the
+        ``Deck.sources`` protocol; called once from ``from_deck``)."""
+        self._check_plane(sim.grid)
+
+    def apply(self, sim, step: int) -> None:
+        """``Deck.sources`` per-step hook: inject after the field
+        advance of *step*."""
+        self.inject(sim.fields, step)
 
     def envelope(self, t: float) -> float:
         """Trapezoidal envelope in [0, 1]."""
@@ -80,10 +112,7 @@ class LaserAntenna:
         """Add this step's source contribution (call once per step,
         after the field advance)."""
         g = fields.grid
-        if not 1 <= self.plane_index <= g.nx:
-            raise ValueError(
-                f"plane_index {self.plane_index} outside interior "
-                f"[1, {g.nx}]")
+        self._check_plane(g)
         t = step * g.dt
         env = self.envelope(t)
         if env == 0.0:

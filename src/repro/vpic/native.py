@@ -176,7 +176,11 @@ static int64_t push_core(const NDeck *g,
         float *restrict u0 = ux + s, *restrict u1 = uy + s,
               *restrict u2 = uz + s;
         const float *restrict ws = w + s;
-        /* cell indices: f64 chain (Grid.cell_of_position) */
+        /* cell indices + in-cell fractions from ONE clipped f64
+         * chain (Grid.cell_of_position / cell_fraction): the
+         * fraction derives from the same coordinate as the cell so
+         * the pair stays consistent for particles sitting exactly
+         * on a box edge (float32 wrap artifact). */
         for (int64_t i = 0; i < t; i++) {
             double px = ((double)xs0[i] - x0) / dx;
             double py = ((double)xs1[i] - y0) / dy;
@@ -184,25 +188,15 @@ static int64_t push_core(const NDeck *g,
             px = px < 0.0 ? 0.0 : (px > hx ? hx : px);
             py = py < 0.0 ? 0.0 : (py > hy ? hy : py);
             pz = pz < 0.0 ? 0.0 : (pz > hz ? hz : pz);
-            base[i] = (((int64_t)px * gsy + (int64_t)py) * gsz
-                       + (int64_t)pz) + shift;
-        }
-        /* in-cell fractions: f32 chain (Grid.cell_fraction) */
-        {
-            const float o[3] = { g->fx0, g->fy0, g->fz0 };
-            const float dl[3] = { g->fdx, g->fdy, g->fdz };
-            float *restrict ps[3] = { xs0, xs1, xs2 };
-            for (int a = 0; a < 3; a++) {
-                const float oo = o[a], dd = dl[a];
-                const float *restrict p = ps[a];
-                float *restrict f = fr[a], *restrict gg = gr[a];
-                for (int64_t i = 0; i < t; i++) {
-                    float v = (p[i] - oo) / dd;
-                    float fv = v - floorf(v);
-                    f[i] = fv;
-                    gg[i] = 1.0f - fv;
-                }
-            }
+            int64_t cx = (int64_t)px, cy = (int64_t)py,
+                    cz = (int64_t)pz;
+            base[i] = ((cx * gsy + cy) * gsz + cz) + shift;
+            fr[0][i] = (float)(px - (double)cx);
+            fr[1][i] = (float)(py - (double)cy);
+            fr[2][i] = (float)(pz - (double)cz);
+            gr[0][i] = 1.0f - fr[0][i];
+            gr[1][i] = 1.0f - fr[1][i];
+            gr[2][i] = 1.0f - fr[2][i];
         }
         /* gather + factored trilinear: 8-lane row ops (lanes 6,7 pad) */
         for (int64_t i = 0; i < t; i++) {

@@ -74,6 +74,14 @@ class Simulation:
     #: timestep, and ``on_crash`` when any exception — including a
     #: guard raise or a KeyboardInterrupt — escapes the run loop.
     recorder: object | None = None
+    #: Per-step field sources (``Deck.sources``): objects with an
+    #: ``apply(sim, step)`` hook, called after every field solve with
+    #: the pre-increment step index — e.g. a
+    #: :class:`~repro.vpic.injection.LaserAntenna` or a
+    #: :class:`~repro.vpic.window.MovingWindow`. Sources demote the
+    #: whole-step native lane (the C step owns the field solve and
+    #: has no injection point); the push-scope lane is unaffected.
+    sources: list = field(default_factory=list)
 
     # -- construction -----------------------------------------------------------
 
@@ -106,6 +114,11 @@ class Simulation:
             deck.field_init(sim)
         if deck.perturbation is not None:
             deck.perturbation(sim)
+        for src in deck.sources:
+            sim.sources.append(src)
+            bind = getattr(src, "bind", None)
+            if bind is not None:
+                bind(sim)
         # __post_init__ already built the solver; it holds the same
         # FieldArrays object that field_init/perturbation mutate in
         # place, so no rebuild is needed here.
@@ -170,6 +183,18 @@ class Simulation:
                 y0 = y.astype(np.float64)
                 z0 = z.astype(np.float64)
                 advance_positions(x, y, z, ux, uy, uz, g.dt)
+                if self.boundary is BoundaryKind.REFLECTING:
+                    # Fold the bounce BEFORE depositing. Esirkepov
+                    # closes the charge ledger for any endpoint pair,
+                    # but depositing along the straight pre-boundary
+                    # path pushes current through the wall while the
+                    # particle teleports back inside — a spurious
+                    # dipole that pumps field energy on every bounce
+                    # (the deck fuzzer caught this as a 18x energy
+                    # blowup on a quiet thermal deck). The chord to
+                    # the reflected endpoint stays inside the box and
+                    # lands the charge where the particle actually is.
+                    apply_particle_boundaries(sp, self.boundary)
                 deposit_current_esirkepov(
                     self.fields, x0, y0, z0, x, y, z,
                     sp.live("w"), sp.q, g.dt, binned=binned)
@@ -236,6 +261,7 @@ class Simulation:
         plan = self.step_plan
         return (plan.native and plan.native_scope == "step"
                 and self._fast_step_ok()
+                and not self.sources
                 and self.field_boundary is FieldBoundaryKind.PERIODIC
                 and type(self._solver) is FieldSolver
                 and not self._solver.external_ghosts
@@ -264,6 +290,10 @@ class Simulation:
         if not self._fast_step_ok():
             return ("fused-lane gates failed (deposition kind, "
                     "particle boundary, or nonzero origin)")
+        if self.sources:
+            names = ", ".join(sorted({type(s).__name__
+                                      for s in self.sources}))
+            return f"per-step field sources attached: {names}"
         if self.field_boundary is not FieldBoundaryKind.PERIODIC:
             return f"field boundary {self.field_boundary.name.lower()}"
         if type(self._solver) is not FieldSolver:
@@ -370,6 +400,10 @@ class Simulation:
                     self._solver.advance_b(
                         0.5, sync=self.step_plan.reference)
                     self._solver.advance_e(1.0)
+                if self.sources:
+                    with record_kernel("sources/inject"):
+                        for src in self.sources:
+                            src.apply(self, self.step_count)
                 self.step_count += 1
                 if self.sort_step.due(self.step_count):
                     for sp in self.species:

@@ -10,13 +10,29 @@
   (physics validation: magnetic field growth).
 - :func:`uniform_plasma_deck` — a plain thermal plasma used by unit
   tests and microbenchmarks.
+- :func:`beam_plasma_deck` — a dilute relativistic electron beam
+  through a return-current background (the PIConGPU
+  beam-instability workload class).
+- :func:`laser_wakefield_deck` — antenna-driven laser wakefield with
+  a moving window and open x boundaries (composes
+  :mod:`repro.vpic.injection`, :mod:`repro.vpic.absorbing`, and
+  :mod:`repro.vpic.window`).
+- :func:`reconnection_deck` — the Harris-sheet example promoted to a
+  first-class scaled magnetic-reconnection deck.
 
 All decks use normalized units with the electron plasma frequency
 near 1 (density is set via the particle weight so that
 ``w_pe^2 = q^2 n / m = 1`` for the electron population).
+
+Every deck is *registered*: :data:`DECK_BUILDERS` maps a CLI name to
+its factory, and :func:`make_deck` builds one by name — the single
+source of truth for ``repro run-deck``/``validate``/``fuzz`` and the
+scenario-zoo tests.
 """
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import numpy as np
 
@@ -30,6 +46,12 @@ __all__ = [
     "weibel_deck",
     "laser_plasma_deck",
     "harris_sheet_deck",
+    "beam_plasma_deck",
+    "laser_wakefield_deck",
+    "reconnection_deck",
+    "DECK_BUILDERS",
+    "registered_decks",
+    "make_deck",
 ]
 
 
@@ -47,7 +69,8 @@ def uniform_plasma_deck(nx: int = 16, ny: int = 16, nz: int = 16,
                         ppc: int = 8, uth: float = 0.05,
                         num_steps: int = 50, seed: int = 0,
                         sort_kind: SortKind = SortKind.STANDARD,
-                        sort_interval: int = 20) -> Deck:
+                        sort_interval: int = 20,
+                        sort_tile_size: int = 0) -> Deck:
     """Plain thermal electron plasma over a neutralizing background."""
     check_positive("ppc", ppc)
     dx = 0.5  # half a skin depth per cell
@@ -62,6 +85,7 @@ def uniform_plasma_deck(nx: int = 16, ny: int = 16, nz: int = 16,
         ),
         sort_kind=sort_kind,
         sort_interval=sort_interval,
+        sort_tile_size=sort_tile_size,
         seed=seed,
     )
 
@@ -223,7 +247,7 @@ def _harris_field_init(b0: float, sheet_half_width: float):
 def harris_sheet_deck(nx: int = 32, nz: int = 32, ppc: int = 16,
                       b0: float = 0.5, sheet_cells: float = 2.0,
                       uth: float = 0.1, num_steps: int = 200,
-                      seed: int = 0) -> Deck:
+                      dx: float = 0.5, seed: int = 0) -> Deck:
     """Magnetic reconnection: a (double) Harris current sheet.
 
     The flagship VPIC workload class (§2.1 names magnetic
@@ -238,7 +262,7 @@ def harris_sheet_deck(nx: int = 32, nz: int = 32, ppc: int = 16,
     a few w_pe^-1 and reconnection proceeds from the seeded
     perturbation.
     """
-    dx = 0.5
+    check_positive("dx", dx)
     d_sheet = sheet_cells * dx
     w = _electron_weight(ppc, dx**3)
     # Sheet drift that supports the field jump: from Ampere's law the
@@ -272,3 +296,210 @@ def harris_sheet_deck(nx: int = 32, nz: int = 32, ppc: int = 16,
         perturbation=sheet_perturbation,
         seed=seed,
     )
+
+
+def beam_plasma_deck(nx: int = 64, ppc: int = 32, u_beam: float = 2.0,
+                     density_ratio: float = 0.1, uth: float = 0.01,
+                     beam_uth: float = 0.002, num_steps: int = 300,
+                     seed: int = 0) -> Deck:
+    """Relativistic beam–plasma instability (PIConGPU workload class).
+
+    A dilute relativistic electron beam (``n_b = density_ratio *
+    n_p``, normalized momentum ``u_beam = gamma v``) streams through
+    a thermal background plasma carrying the compensating return
+    current, so the initial state is current-neutral and the
+    two-stream/oblique instability grows from particle noise. The
+    box is quasi-1D along the beam, sized to fit ~2 of the
+    fastest-growing wavelengths (``k v_b ~ w_pe``).
+
+    Deposition is Esirkepov: with plain CIC the Gauss-law residual
+    grows secularly as the relativistic beam saturates and the guard
+    (correctly) trips around step ~270; the charge-conserving scheme
+    keeps the residual at its baseline indefinitely and additionally
+    activates the continuity guard check, making this the
+    guard-richest deck in the zoo. The trade is the fused/native
+    step lanes demoting to per-kernel paths (the fallback reason
+    names the deposition gate).
+    """
+    check_positive("u_beam", u_beam)
+    check_positive("density_ratio", density_ratio)
+    if density_ratio >= 1.0:
+        raise ValueError(
+            f"density_ratio must be < 1 (dilute beam), got "
+            f"{density_ratio}")
+    gamma_b = float(np.sqrt(1.0 + u_beam**2))
+    v_beam = u_beam / gamma_b
+    # Resonant mode k ~ w_pe / v_b; fit two wavelengths in the box.
+    lam = 2.0 * np.pi * v_beam
+    dx = 2.0 * lam / nx
+    w_plasma = _electron_weight(ppc, dx**3)
+    ppc_beam = max(1, int(round(ppc * density_ratio)))
+    w_beam = density_ratio * _electron_weight(ppc_beam, dx**3)
+    # Background return-current drift cancels the beam current:
+    # n_p v_ret = n_b v_b.
+    v_ret = density_ratio * v_beam
+    u_ret = v_ret / np.sqrt(1.0 - v_ret**2)
+    from repro.vpic.deck import DepositionKind
+    return Deck(
+        name="beam_plasma",
+        nx=nx, ny=2, nz=2, dx=dx, dy=dx, dz=dx,
+        num_steps=num_steps,
+        species=(
+            SpeciesConfig("plasma", q=-1.0, m=1.0, ppc=ppc,
+                          uth=uth, drift=(-float(u_ret), 0.0, 0.0),
+                          weight=w_plasma),
+            SpeciesConfig("beam", q=-1.0, m=1.0, ppc=ppc_beam,
+                          uth=beam_uth, drift=(float(u_beam), 0.0, 0.0),
+                          weight=w_beam),
+        ),
+        deposition=DepositionKind.ESIRKEPOV,
+        seed=seed,
+    )
+
+
+def laser_wakefield_deck(nx: int = 96, ny: int = 8, nz: int = 8,
+                         ppc: int = 4, a0: float = 1.0,
+                         omega: float = 3.0, uth: float = 0.01,
+                         num_steps: int = 160, seed: int = 0) -> Deck:
+    """Moving-window laser wakefield (PIConGPU's flagship workload).
+
+    An antenna at the left edge launches a short laser pulse
+    (normalized amplitude ``a0``, frequency ``omega > w_pe = 1``:
+    underdense propagation) into a uniform plasma; the ponderomotive
+    push drives the plasma wake behind the pulse. Once the pulse is
+    fully launched, a :class:`~repro.vpic.window.MovingWindow`
+    follows it at ~c: trailing plasma drops off the back, fresh
+    unperturbed plasma loads at the front, and the x field
+    boundaries are first-order Mur absorbers so the pulse and wake
+    leave cleanly instead of wrapping.
+
+    This deck composes three subsystems — antenna injection
+    (:mod:`repro.vpic.injection`), open boundaries
+    (:mod:`repro.vpic.absorbing`), and the moving window
+    (:mod:`repro.vpic.window`) — and therefore runs on the
+    push-scope lanes (per-step sources demote the whole-step native
+    lane by design).
+    """
+    if omega <= 1.0:
+        raise ValueError(
+            f"omega must be > 1 (underdense: w_pe = 1), got {omega}")
+    from repro.vpic.deck import FieldBoundaryKind
+    from repro.vpic.injection import LaserAntenna
+    from repro.vpic.window import MovingWindow
+    dx = 0.4
+    w = _electron_weight(ppc, dx**3)
+    electrons = SpeciesConfig("electron", q=-1.0, m=1.0, ppc=ppc,
+                              uth=uth, weight=w)
+    # Pulse: ~1 plasma period rise, short flat top.
+    t_rise = 4.0
+    t_flat = 4.0
+    antenna = LaserAntenna(amplitude=a0, omega=omega, t_rise=t_rise,
+                           t_flat=t_flat, plane_index=2)
+    # dt is the deck's auto (0.95x Courant); the window advances one
+    # cell every ceil(dx / dt) steps ~ light speed, starting once the
+    # pulse is fully launched.
+    dt = float(0.95 / np.sqrt(3.0) * dx)
+    interval = max(1, int(np.ceil(dx / dt)))
+    window = MovingWindow(interval=interval, reload=(electrons,),
+                          seed=seed)
+    launch_steps = int(np.ceil(antenna.duration / dt))
+
+    class _GatedWindow:
+        """Window that waits out the pulse launch (pure in step)."""
+
+        def __init__(self, inner, start: int):
+            self.inner = inner
+            self.start = start
+
+        def bind(self, sim):
+            self.inner.bind(sim)
+
+        def apply(self, sim, step: int) -> None:
+            if step >= self.start:
+                self.inner.apply(sim, step)
+
+    return Deck(
+        name="laser_wakefield",
+        nx=nx, ny=ny, nz=nz, dx=dx, dy=dx, dz=dx,
+        num_steps=num_steps,
+        species=(electrons,),
+        field_boundary=FieldBoundaryKind.ABSORBING_X,
+        sources=(antenna, _GatedWindow(window, launch_steps)),
+        sort_interval=10,
+        seed=seed,
+    )
+
+
+def reconnection_deck(scale: float = 1.0, ppc: int = 16,
+                      b0: float = 0.5, num_steps: int = 240,
+                      seed: int = 0) -> Deck:
+    """Magnetic reconnection at scale: the Harris-sheet example
+    promoted to a registered deck.
+
+    ``scale = 1`` is a 48x48 x-z box (twice the linear size of the
+    :func:`harris_sheet_deck` default, four times the example
+    script); larger scales grow the box while keeping the sheet
+    half-width fixed in cell units, so the separatrix structure is
+    resolved identically and only the system size changes — the
+    setup of the island-coalescence studies the VPIC papers run.
+
+    Like VPIC itself (whose deposition is charge-conserving by
+    construction), this deck uses Esirkepov deposition: at this box
+    size and run length the CIC Gauss residual grows past the guard
+    threshold once the sheet goes nonlinear, while the conserving
+    scheme stays at baseline and keeps the continuity check active.
+    Esirkepov lacks CIC's matched gather/deposit shape pair, so it
+    needs the Debye length resolved (``dx <~ 2.5 lambda_D``) or
+    finite-grid heating takes over — hence ``dx = 0.2`` here
+    (``lambda_D = uth = 0.1``, so ``dx = 2 lambda_D`` with margin)
+    versus the Harris deck's coarse 0.5.
+    """
+    check_positive("scale", scale)
+    from repro.vpic.deck import DepositionKind
+    n = max(16, int(round(48 * scale)))
+    deck = harris_sheet_deck(nx=n, nz=n, ppc=ppc, b0=b0,
+                             num_steps=num_steps, dx=0.2, seed=seed)
+    return replace(deck, name="reconnection",
+                   deposition=DepositionKind.ESIRKEPOV)
+
+
+# -- the registry (scenario zoo) ---------------------------------------------
+
+#: CLI name -> deck factory. Every entry must build a deck that runs
+#: green under ``repro validate --guard=raise`` (pinned by
+#: tests/test_scenario_zoo.py).
+DECK_BUILDERS = {
+    "uniform": uniform_plasma_deck,
+    "two-stream": two_stream_deck,
+    "weibel": weibel_deck,
+    "laser-plasma": laser_plasma_deck,
+    "harris": harris_sheet_deck,
+    "beam-plasma": beam_plasma_deck,
+    "wakefield": laser_wakefield_deck,
+    "reconnection": reconnection_deck,
+}
+
+
+def registered_decks() -> tuple[str, ...]:
+    """All deck names, in registry order."""
+    return tuple(DECK_BUILDERS)
+
+
+def make_deck(name: str, steps: int | None = None, seed: int = 0,
+              **kwargs) -> Deck:
+    """Build a registered deck by name.
+
+    *steps* overrides ``num_steps`` after construction (so factories
+    keep their tuned defaults); extra keyword arguments pass through
+    to the factory.
+    """
+    try:
+        factory = DECK_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no deck named {name!r}; registered: "
+            f"{', '.join(registered_decks())}") from None
+    deck = factory(seed=seed, **kwargs)
+    if steps is not None:
+        deck = replace(deck, num_steps=steps)
+    return deck

@@ -1,0 +1,32 @@
+"""Replay the committed regression corpus.
+
+Every fuzz finding that earned a fix (or a triage note) lives in
+``tests/corpus/*.json`` with an ``expect`` verdict; this test replays
+each entry so the finding can never silently regress. Add entries
+with ``repro fuzz --save-corpus`` and edit the ``expect``/``note``
+fields after root-causing.
+"""
+
+import pytest
+
+from repro.fuzz import default_corpus_dir, load_corpus, replay_entry
+
+pytestmark = pytest.mark.fuzz
+
+ENTRIES = load_corpus(default_corpus_dir())
+
+
+def test_corpus_is_not_empty():
+    # The corpus ships with the findings of the first campaign; an
+    # empty load means the path wiring broke, not that all is well.
+    assert len(ENTRIES) >= 5
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES,
+    ids=[e.deck.get("name", e.path or "?") for e in ENTRIES])
+def test_corpus_entry_replays(entry):
+    ok, result = replay_entry(entry)
+    got = result.headline() if result is not None else "invalid (rejected)"
+    assert ok, (f"corpus entry {entry.path} expected {entry.expect!r} "
+                f"but got: {got}\nnote: {entry.note}")

@@ -82,8 +82,8 @@ class TestSimulationLoop:
                            (SortKind.TILED_STRIDED, 32)):
             deck = uniform_plasma_deck(nx=6, ny=6, nz=6, ppc=4, uth=0.05,
                                        num_steps=12, sort_interval=4,
-                                       sort_kind=kind)
-            deck = Deck(**{**deck.__dict__, "sort_tile_size": tile})
+                                       sort_kind=kind,
+                                       sort_tile_size=tile)
             sim = deck.build()
             diag = EnergyDiagnostic()
             sim.run(12, diag)
