@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Measured distributed strong-scaling baselines (BENCH_10.json).
+
+Reruns the Figure 10 strong-scaling study in real wall clock on this
+host: one fixed global deck decomposed over growing rank counts,
+stepped under all three distributed configurations —
+
+- ``threads``                 in-process serialized reference,
+- ``processes``               forked workers, overlapped halo schedule,
+- ``processes --serialized``  forked workers, serialized schedule,
+
+recording step throughput, per-rank halo-wait fraction, load
+imbalance, the processes-vs-threads speedup, and the overlap
+efficiency (fraction of serialized neighbor-wait time the overlapped
+schedule hides). The recorded numbers back the ``perf``-marked
+tripwire in tests/test_perf_regression.py:
+
+    PYTHONPATH=src python scripts/bench_scaling.py
+    PYTHONPATH=src python -m pytest -m perf
+
+The default deck is the paper's *communication-bound* operating point
+(global 8^3 grid, 2 ppc: at 8 ranks every brick is a 4x4x2 sliver
+whose step is mostly exchange, exactly the high-rank-count end of a
+Figure 10 curve). Compute-dominated decks on this host land near 1x —
+the speedup comes from removing serialized exchange overhead, so it
+only shows where exchange is the bottleneck; the per-point telemetry
+in the JSON documents both regimes.
+
+``--ladder`` additionally reruns the 128–512 rank ladder (global
+16^3, the per-rank 2-cell bricks of the paper's largest partitions)
+under the overlapped processes backend — several minutes of fork and
+step time, so it is opt-in. ``--check`` prints without rewriting.
+
+Only plain periodic decks can run distributed: laser-plasma (and the
+other field_init/perturbation decks: wakefield, harris,
+reconnection) are not distributed-eligible, which the JSON records
+explicitly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+OUT_PATH = REPO / "BENCH_10.json"
+
+#: Rank counts for the default (threads-vs-processes) sweep.
+RANK_COUNTS = (1, 2, 4, 8)
+#: The opt-in high-rank-count ladder (processes/overlapped only).
+LADDER_COUNTS = (128, 256, 512)
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def comm_bound_deck(steps: int = 12):
+    """The communication-bound strong-scaling operating point: the
+    uniform plasma shrunk to a global 8^3 grid at 2 ppc, so the
+    per-rank brick at 8 ranks is surface-dominated."""
+    from repro.vpic.workloads import uniform_plasma_deck
+    base = uniform_plasma_deck(seed=0)
+    return replace(
+        base, name="uniform_commbound", nx=8, ny=8, nz=8,
+        num_steps=steps,
+        species=tuple(replace(s, ppc=2) for s in base.species))
+
+
+def ladder_deck(steps: int = 4):
+    """Global 16^3 at 2 ppc: divides over the balanced dims of every
+    ladder count (8x4x4 / 8x8x4 / 8x8x8 -> 2-cell bricks at 512)."""
+    from repro.vpic.workloads import uniform_plasma_deck
+    base = uniform_plasma_deck(seed=0)
+    return replace(
+        base, name="uniform_ladder", nx=16, ny=16, nz=16,
+        num_steps=steps,
+        species=tuple(replace(s, ppc=2) for s in base.species))
+
+
+def eligibility():
+    """Which example decks can run distributed, and why not."""
+    from repro.fuzz.runner import distributed_eligible
+    from repro.vpic.workloads import make_deck, registered_decks
+    eligible, ineligible = [], {}
+    for key in registered_decks():
+        deck = make_deck(key, steps=1, seed=0)
+        reason = distributed_eligible(deck, 2)
+        if reason is None:
+            eligible.append(deck.name)
+        else:
+            ineligible[deck.name] = reason
+    return eligible, ineligible
+
+
+def measure(deck, rank_counts, steps, warm, backend, overlap,
+            repeats=1):
+    """Best-of-*repeats* measured points (min step time per rank
+    count, the whole point kept together so the wait/imbalance
+    figures belong to the reported run)."""
+    from repro.cluster.scaling import measured_strong_scaling
+    best = None
+    for _ in range(repeats):
+        pts = measured_strong_scaling(deck, list(rank_counts),
+                                      steps=steps, warm=warm,
+                                      backend=backend, overlap=overlap)
+        if best is None:
+            best = pts
+        else:
+            best = [p if p.step_seconds < b.step_seconds else b
+                    for b, p in zip(best, pts)]
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=60,
+                        help="timed steps per point (default 60)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per configuration; each point "
+                             "keeps its fastest run (default 3)")
+    parser.add_argument("--warm", type=int, default=5,
+                        help="untimed warm-up steps per point "
+                             "(default 5)")
+    parser.add_argument("--ladder", action="store_true",
+                        help="also run the 128-512 rank ladder "
+                             "(minutes of fork+step time)")
+    parser.add_argument("--ladder-steps", type=int, default=4,
+                        help="timed steps per ladder point (default 4)")
+    parser.add_argument("--check", action="store_true",
+                        help="print without rewriting BENCH_10.json")
+    args = parser.parse_args()
+
+    deck = comm_bound_deck(steps=args.steps + args.warm)
+    eligible, ineligible = eligibility()
+    print(f"deck '{deck.name}': global {deck.nx}x{deck.ny}x{deck.nz}, "
+          f"2 ppc, {args.steps} timed steps (+{args.warm} warm) "
+          f"per point")
+    print(f"distributed-eligible example decks: {', '.join(eligible)}")
+    for name, reason in ineligible.items():
+        print(f"  not eligible: {name} — {reason}")
+
+    t0 = time.perf_counter()
+    threads = measure(deck, RANK_COUNTS, args.steps, args.warm,
+                      "threads", False, repeats=args.repeats)
+    procs = measure(deck, RANK_COUNTS, args.steps, args.warm,
+                    "processes", True, repeats=args.repeats)
+    procs_ser = measure(deck, RANK_COUNTS, args.steps, args.warm,
+                        "processes", False, repeats=args.repeats)
+    print(f"sweep done in {time.perf_counter() - t0:.1f} s")
+
+    from repro.cluster.scaling import overlap_efficiency
+    points = {}
+    print(f"\n{'ranks':>6} {'threads ms':>11} {'procs ms':>9} "
+          f"{'speedup':>8} {'wait frac':>10} {'overlap eff':>12}")
+    for th, pr, ps in zip(threads, procs, procs_ser):
+        speed = (th.step_seconds / pr.step_seconds
+                 if pr.step_seconds > 0 else 0.0)
+        eff = overlap_efficiency(pr, ps)
+        points[str(th.n_ranks)] = {
+            "threads": th.to_dict(),
+            "processes": pr.to_dict(),
+            "processes_serialized": ps.to_dict(),
+            "speedup_vs_threads": speed,
+            "overlap_efficiency": eff,
+        }
+        print(f"{th.n_ranks:>6} {th.step_seconds * 1e3:>11.2f} "
+              f"{pr.step_seconds * 1e3:>9.2f} {speed:>8.2f} "
+              f"{pr.halo_wait_fraction:>10.3f} {eff:>12.2f}")
+
+    record = {
+        "benchmark": "distributed_scaling",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_head": _git_head(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "overlap_note": (
+            "overlap_efficiency needs spare hardware to hide waits "
+            "behind interior work; on a single-CPU host the two "
+            "schedules timeshare one core and the measured difference "
+            "sits inside run-to-run noise (expect ~0 +/- 0.15). The "
+            "speedup_vs_threads column is the number this bench "
+            "gates on."),
+        "deck": {
+            "name": deck.name,
+            "grid": [deck.nx, deck.ny, deck.nz],
+            "ppc": 2,
+            "note": "comm-bound Figure 10 operating point: per-rank "
+                    "bricks are surface-dominated at 8 ranks, the "
+                    "regime where the overlapped processes backend "
+                    "pays off; compute-dominated decks land near 1x "
+                    "on this host",
+        },
+        "steps": args.steps,
+        "warm": args.warm,
+        "eligible_decks": eligible,
+        "ineligible_decks": ineligible,
+        "points": points,
+    }
+
+    if args.ladder:
+        ldeck = ladder_deck(steps=args.ladder_steps + 1)
+        print(f"\nladder deck '{ldeck.name}': global "
+              f"{ldeck.nx}x{ldeck.ny}x{ldeck.nz}, 2 ppc, "
+              f"{args.ladder_steps} timed steps per point")
+        ladder = {}
+        print(f"{'ranks':>6} {'step ms':>9} {'steps/s':>9} "
+              f"{'wait frac':>10} {'imbalance':>10}")
+        for n in LADDER_COUNTS:
+            t0 = time.perf_counter()
+            (pt,) = measure(ldeck, [n], args.ladder_steps, 1,
+                            "processes", True)
+            ladder[str(n)] = pt.to_dict()
+            print(f"{n:>6} {pt.step_seconds * 1e3:>9.1f} "
+                  f"{pt.steps_per_second:>9.2f} "
+                  f"{pt.halo_wait_fraction:>10.3f} "
+                  f"{pt.load_imbalance:>10.3f}  "
+                  f"[{time.perf_counter() - t0:.0f} s total]")
+        record["ladder"] = {
+            "deck": {"name": ldeck.name,
+                     "grid": [ldeck.nx, ldeck.ny, ldeck.nz],
+                     "ppc": 2},
+            "steps": args.ladder_steps,
+            "points": ladder,
+        }
+
+    if args.check:
+        print("\n--check: not rewriting", OUT_PATH.name)
+        return 0
+    if OUT_PATH.exists() and "ladder" not in record:
+        # Keep a previously recorded ladder when rerunning only the
+        # default sweep — the ladder is expensive and opt-in.
+        try:
+            old = json.loads(OUT_PATH.read_text())
+            if "ladder" in old:
+                record["ladder"] = old["ladder"]
+        except ValueError:
+            pass
+    OUT_PATH.write_text(json.dumps(record, indent=1, sort_keys=True)
+                        + "\n")
+    print(f"\nbaseline -> {OUT_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,6 +135,20 @@ def _headline(rec: BenchRecord) -> str:
             return (f"fast path {best:.1f}x best speedup over "
                     f"{len(decks)} decks")
         return "step throughput"
+    if kind == "distributed_scaling":
+        # Headline the highest rank count — the comm-bound end of the
+        # curve is what this bench exists to track.
+        points = d.get("points", {})
+        best_n, best = 0, 0.0
+        for n, p in points.items():
+            s = p.get("speedup_vs_threads", 0.0)
+            if isinstance(s, (int, float)) and int(n) >= best_n:
+                best_n, best = int(n), float(s)
+        top = max((int(n) for n in d.get("ladder", {})
+                   .get("points", {})), default=0)
+        tail = f", ladder to {top} ranks" if top else ""
+        return (f"processes {best:.2f}x threads at {best_n} ranks "
+                f"on {d.get('deck', {}).get('name', '?')}{tail}")
     if kind == "recorder_overhead":
         worst = d.get("worst_overhead_fraction")
         if worst is None:

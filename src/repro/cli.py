@@ -97,6 +97,119 @@ def _run_deck_batch(args, count: int) -> int:
     return 0
 
 
+def _run_deck_distributed(args) -> int:
+    """``run-deck --ranks N``: the deck decomposed over N real ranks.
+
+    ``--backend processes`` forks one worker per rank over the
+    shared-memory arena with the overlapped halo schedule (see
+    :mod:`repro.mpi.process_backend`); ``--backend threads`` is the
+    in-process bit-identity reference. Results are bit-identical
+    across backends and schedules.
+    """
+    import time
+
+    from repro.fuzz.runner import distributed_eligible
+    from repro.kokkos.profiling import kernel_timings, reset_kernel_timings
+    from repro.mpi.distributed import DistributedSimulation
+    from repro.mpi.process_backend import RankWorkerError
+    from repro.validate import GuardViolationError
+    from repro.validate.checks import rank_checks
+    from repro.validate.guard import RankGuard
+
+    for flag in ("trace", "profile", "batch", "serve"):
+        if getattr(args, flag, None) is not None:
+            print(f"--{flag} is single-sim only; ignoring it "
+                  f"for --ranks {args.ranks}")
+    deck = _deck_factory(args.deck, args.steps, args.seed)
+    reason = distributed_eligible(deck, args.ranks)
+    if reason is not None:
+        print(f"deck '{deck.name}' cannot run distributed: {reason}")
+        return 2
+    guard = None
+    if getattr(args, "guard", None) is not None:
+        if args.guard != "raise":
+            print(f"distributed guard is raise-only; ignoring "
+                  f"policy {args.guard!r}")
+        guard = RankGuard(rank_checks())
+    overlap = not getattr(args, "serialized", False)
+    if args.backend == "threads" and not overlap:
+        print("--serialized is implicit for --backend threads")
+    dsim = DistributedSimulation(deck, args.ranks, guard=guard,
+                                 backend=args.backend, overlap=overlap)
+    print(f"deck '{deck.name}': {deck.nx * deck.ny * deck.nz} cells "
+          f"over {args.ranks} ranks {dsim.decomp.dims}, "
+          f"{dsim.total_particles()} particles, {deck.num_steps} steps")
+    sched = ("overlapped" if overlap and args.backend == "processes"
+             else "serialized")
+    lanes: dict = {}
+    for lane, why in dsim.rank_lanes():
+        lanes.setdefault((lane, why), 0)
+        lanes[(lane, why)] += 1
+    lane_txt = " · ".join(f"{n}x {lane}" for (lane, _), n in lanes.items())
+    print(f"backend: {args.backend} ({sched} exchange) — "
+          f"rank lanes {lane_txt}")
+    fallback = dsim.native_fallback_reason()
+    if fallback is not None:
+        print(f"note: {fallback}")
+    if guard is not None:
+        print("guard: per-rank structural checks (raise)")
+    recorder = None
+    if getattr(args, "record", None) is not None:
+        from repro.observability.flight import FlightRecorder
+        run_dir = getattr(args, "record_dir", None) or \
+            f"{deck.name}-flight"
+        recorder = FlightRecorder(run_dir, stride=args.record,
+                                  meta={"deck": deck.name,
+                                        "seed": args.seed,
+                                        "ranks": args.ranks,
+                                        "backend": args.backend})
+        recorder.attach(dsim)
+        print(f"flight log: {run_dir} (stride {args.record}) — "
+              f"follow with: repro watch {run_dir}")
+    reset_kernel_timings()
+    t0 = time.perf_counter()
+    try:
+        dsim.run(deck.num_steps)
+    except GuardViolationError as exc:
+        print(f"guard violation: {exc}")
+        if guard is not None:
+            print(guard.report.format())
+        if recorder is not None:
+            print(f"crash dump -> {recorder.crash_path}")
+        return 1
+    except RankWorkerError as exc:
+        print(f"rank worker crashed: {exc}")
+        if exc.worker_traceback:
+            print(exc.worker_traceback)
+        if recorder is not None:
+            print(f"crash dump -> {recorder.crash_path}")
+        return 1
+    finally:
+        if recorder is not None:
+            recorder.close()
+        dsim.close()
+    wall = time.perf_counter() - t0
+    print(f"{deck.num_steps} steps in {wall:.3f} s "
+          f"({wall / deck.num_steps * 1e3:.3f} ms/step)")
+    ke = dsim.total_kinetic_energy()
+    e, b = dsim.total_field_energy()
+    print(f"energy: KE {ke:.6e}  E {e:.6e}  B {b:.6e}")
+    if dsim._pbackend is not None:
+        report = dsim._pbackend.rank_report()
+        print(report.table())
+        print(f"halo wait: {dsim._pbackend.halo_wait_seconds():.3f} s "
+              f"summed over ranks ({sched} schedule)")
+    if getattr(args, "metrics", None) is not None:
+        from repro.observability.metrics import default_registry
+        default_registry().save(args.metrics)
+        print(f"metrics -> {args.metrics}")
+    if args.timings:
+        for label, timer in sorted(kernel_timings().items()):
+            print(f"  {label:32s} {timer.seconds * 1e3:9.2f} ms "
+                  f"x{timer.launches}")
+    return 0
+
+
 def cmd_run_deck(args) -> int:
     from repro.kokkos.profiling import kernel_timings, reset_kernel_timings
     from repro.observability.callbacks import register_tool, unregister_tool
@@ -104,6 +217,8 @@ def cmd_run_deck(args) -> int:
     from repro.observability.tracer import ChromeTracer
     from repro.vpic.diagnostics import EnergyDiagnostic, energy_report
 
+    if getattr(args, "ranks", 1) > 1:
+        return _run_deck_distributed(args)
     batch = getattr(args, "batch", None)
     if batch is not None and batch > 1:
         for flag in ("guard", "record", "trace", "metrics", "profile"):
@@ -477,12 +592,105 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def _fuzz_ranks(args, rank_counts: list[int]) -> int:
+    """``repro fuzz --ranks``: the distributed axis of the fuzzer.
+
+    Samples rank counts x decks: deck ``i`` runs distributed at
+    ``rank_counts[i % len]`` under ``RankGuard`` (processes backend by
+    default, so the overlapped halo schedule and real forked workers
+    are what gets fuzzed). Decks the distributed driver cannot host —
+    non-periodic boundaries, grids that do not divide over the rank
+    decomposition — are counted and skipped, not reported as findings.
+    Failures replay into the corpus with their rank count recorded, so
+    ``pytest tests/test_fuzz_corpus.py`` reproduces them distributed.
+    """
+    import os
+
+    from repro.fuzz import (CorpusEntry, DeckGenerator,
+                            distributed_eligible, run_deck_distributed,
+                            save_entry)
+    from repro.vpic.deck import Deck
+
+    gen = DeckGenerator(seed=args.seed)
+    print(f"fuzzing {args.runs} decks x ranks {rank_counts} "
+          f"(seed {args.seed}, backend={args.backend}, RankGuard, "
+          f"full deck length each)")
+    failures = []
+    ran = skipped = 0
+    skip_reasons: dict[str, int] = {}
+    for i, deck in gen.decks(args.runs):
+        # Prefer rank count i (cycled) but accept any count in the
+        # list the deck's grid can host — decomposition divisibility
+        # would otherwise skip most decks at a single fixed count.
+        n_ranks = reason = None
+        for j in range(len(rank_counts)):
+            cand = rank_counts[(i + j) % len(rank_counts)]
+            reason = distributed_eligible(deck, cand)
+            if reason is None:
+                n_ranks = cand
+                break
+        if n_ranks is None:
+            skipped += 1
+            key = reason.split("(")[0].strip()
+            skip_reasons[key] = skip_reasons.get(key, 0) + 1
+            continue
+        result = run_deck_distributed(deck, n_ranks,
+                                      backend=args.backend)
+        ran += 1
+        if result.failed:
+            failures.append(result)
+            print(f"  FAIL {result.headline()}")
+    print(f"{ran - len(failures)}/{ran} ok ({skipped} skipped as "
+          f"not distributed-eligible); {len(failures)} failures")
+    for reason, n in sorted(skip_reasons.items(), key=lambda kv: -kv[1]):
+        print(f"  skipped {n}x: {reason}")
+    if args.minimize and failures:
+        print("note: --minimize is single-sim only; storing full "
+              "distributed reproducers")
+    for result in failures:
+        if args.record_dir is not None:
+            run_dir = os.path.join(args.record_dir, result.deck["name"])
+            rerun = run_deck_distributed(Deck.from_dict(result.deck),
+                                         result.ranks,
+                                         backend=result.backend,
+                                         record_dir=run_dir)
+            if rerun.failed:
+                print(f"  crash dump -> {run_dir}/crash.json")
+        if args.save_corpus is not None:
+            key = (f"guard:{result.check}"
+                   if result.status == "guard" else
+                   "error:" + (result.message or "?").split("(")[0])
+            path = save_entry(
+                CorpusEntry(deck=result.deck, expect=key,
+                            note=f"distributed fuzz finding at "
+                                 f"{result.ranks} ranks "
+                                 f"({result.backend} backend, "
+                                 f"untriaged): edit 'expect'/'note' "
+                                 f"after root-causing",
+                            found=result.to_dict()),
+                args.save_corpus)
+            print(f"  corpus entry -> {path}")
+    return 0
+
+
 def cmd_fuzz(args) -> int:
     import os
 
     from repro.fuzz import (CorpusEntry, DeckGenerator, minimize,
                             run_deck, save_entry)
     from repro.vpic.deck import Deck
+
+    if getattr(args, "ranks", None):
+        try:
+            rank_counts = [int(tok) for tok in args.ranks.split(",")]
+        except ValueError:
+            print(f"--ranks wants a comma list of rank counts "
+                  f"(e.g. 2,4,8), got {args.ranks!r}")
+            return 2
+        if any(n < 1 for n in rank_counts):
+            print(f"--ranks counts must be >= 1, got {rank_counts}")
+            return 2
+        return _fuzz_ranks(args, rank_counts)
 
     gen = DeckGenerator(seed=args.seed)
     print(f"fuzzing {args.runs} decks (seed {args.seed}, "
@@ -593,6 +801,21 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("jsonl", "sse"), metavar="MODE",
                    help="also publish the flight log on a localhost "
                         "socket (jsonl|sse; bare --serve means jsonl)")
+    p.add_argument("--ranks", type=int, default=1, metavar="N",
+                   help="decompose the deck over N distributed ranks "
+                        "(default 1: plain single-sim run)")
+    p.add_argument("--backend", default="threads",
+                   choices=("threads", "processes"),
+                   help="rank execution backend for --ranks: 'threads' "
+                        "steps ranks in-process under serialized "
+                        "barriers (the bit-identity reference); "
+                        "'processes' forks one worker per rank over "
+                        "shared memory with the overlapped halo "
+                        "schedule (default threads)")
+    p.add_argument("--serialized", action="store_true",
+                   help="with --backend processes: disable halo "
+                        "overlap and run the serialized exchange "
+                        "schedule (for overlap A/B measurements)")
     p.set_defaults(fn=cmd_run_deck)
 
     p = sub.add_parser("profile",
@@ -713,6 +936,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-corpus", metavar="DIR", default=None,
                    help="write each failure as an untriaged corpus "
                         "entry under DIR (e.g. tests/corpus)")
+    p.add_argument("--ranks", metavar="N1,N2,...", default=None,
+                   help="fuzz the distributed driver instead: run "
+                        "deck i at rank count Ni (cycled) under the "
+                        "per-rank guard; ineligible decks are "
+                        "counted and skipped")
+    p.add_argument("--backend", default="processes",
+                   choices=("threads", "processes"),
+                   help="rank backend for --ranks fuzzing (default "
+                        "processes: forked workers + overlapped "
+                        "halo schedule)")
     p.set_defaults(fn=cmd_fuzz)
 
     return parser

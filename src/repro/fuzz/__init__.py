@@ -21,10 +21,13 @@ from repro.fuzz.corpus import (CorpusEntry, default_corpus_dir,
                                load_corpus, replay_entry, save_entry)
 from repro.fuzz.generator import DeckGenerator, random_deck
 from repro.fuzz.minimize import MinimizeReport, minimize
-from repro.fuzz.runner import FuzzResult, failure_key, run_deck
+from repro.fuzz.runner import (FuzzResult, distributed_eligible,
+                               failure_key, run_deck,
+                               run_deck_distributed)
 
 __all__ = [
     "CorpusEntry", "DeckGenerator", "FuzzResult", "MinimizeReport",
-    "default_corpus_dir", "failure_key", "load_corpus", "minimize",
-    "random_deck", "replay_entry", "run_deck", "save_entry",
+    "default_corpus_dir", "distributed_eligible", "failure_key",
+    "load_corpus", "minimize", "random_deck", "replay_entry",
+    "run_deck", "run_deck_distributed", "save_entry",
 ]

@@ -24,7 +24,7 @@ import json
 import os
 import re
 
-from repro.fuzz.runner import FuzzResult, run_deck
+from repro.fuzz.runner import FuzzResult, run_deck, run_deck_distributed
 from repro.vpic.deck import Deck
 
 __all__ = ["CorpusEntry", "save_entry", "load_corpus", "replay_entry",
@@ -114,7 +114,18 @@ def replay_entry(entry: CorpusEntry) -> tuple[bool, FuzzResult]:
         except ValueError:
             return (True, None)
         return (False, None)
-    result = run_deck(Deck.from_dict(entry.deck))
+    # Findings from the distributed fuzzer record their rank count /
+    # backend in ``found`` and replay through the same configuration
+    # — a single-rank rerun would not reproduce a halo-schedule bug.
+    # (Pre-distributed corpus entries store a date string there.)
+    found = entry.found if isinstance(entry.found, dict) else {}
+    ranks = found.get("ranks")
+    if ranks and int(ranks) > 1:
+        result = run_deck_distributed(
+            Deck.from_dict(entry.deck), int(ranks),
+            backend=found.get("backend") or "processes")
+    else:
+        result = run_deck(Deck.from_dict(entry.deck))
     if entry.expect == "pass":
         return (result.status == "ok", result)
     kind, _, detail = entry.expect.partition(":")

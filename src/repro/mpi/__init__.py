@@ -14,24 +14,33 @@ buffers — plus:
   neighbouring ranks;
 - :mod:`repro.mpi.costmodel` — a latency/bandwidth model that turns
   the recorded message counts and sizes into communication time on a
-  given interconnect (what the Figure 10 scaling study consumes).
+  given interconnect (what the Figure 10 scaling study consumes);
+- :mod:`repro.mpi.shm` / :mod:`repro.mpi.process_backend` — the
+  real-process backend: ranks forked over a shared-memory arena with
+  sequence-counter neighbor channels and an overlapped halo schedule.
 
-Execution model: ranks run *phase-synchronously* — a driver executes
-each rank's work for a phase, sends buffer into mailboxes, and
-receives drain them. This matches the BSP structure of a PIC step
-(compute, exchange, repeat) without needing real concurrency.
+Execution model (threads backend): ranks run *phase-synchronously* —
+a driver executes each rank's work for a phase, sends buffer into
+mailboxes, and receives drain them. This matches the BSP structure of
+a PIC step (compute, exchange, repeat) without needing real
+concurrency. The processes backend replaces the phase barriers with
+per-neighbor dataflow waits; see :mod:`repro.mpi.process_backend`.
 """
 
-from repro.mpi.comm import World, Communicator, Request, MessageLog
+from repro.mpi.comm import (World, Communicator, Request, MessageLog,
+                            NeighborChannels, ChannelAborted)
 from repro.mpi.decomposition import CartDecomposition, balanced_dims
 from repro.mpi.halo import exchange_ghost_cells, reduce_ghost_sums
 from repro.mpi.particle_exchange import migrate_particles
 from repro.mpi.costmodel import LinkSpec, CommCostModel, INTERCONNECTS
+from repro.mpi.shm import SharedArena, SharedSpecies
 
 __all__ = [
     "World", "Communicator", "Request", "MessageLog",
+    "NeighborChannels", "ChannelAborted",
     "CartDecomposition", "balanced_dims",
     "exchange_ghost_cells", "reduce_ghost_sums",
     "migrate_particles",
     "LinkSpec", "CommCostModel", "INTERCONNECTS",
+    "SharedArena", "SharedSpecies",
 ]

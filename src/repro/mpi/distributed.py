@@ -70,11 +70,16 @@ class DistributedSimulation:
     """A deck decomposed over a simulated MPI world."""
 
     def __init__(self, deck: Deck, n_ranks: int, guard=None,
-                 plan: StepPlan | None = None):
+                 plan: StepPlan | None = None,
+                 backend: str = "threads", overlap: bool = True,
+                 _inject_fault=None):
         if deck.field_init is not None or deck.perturbation is not None:
             raise ValueError(
                 "distributed driver supports plain decks (no field_init/"
                 "perturbation callables, which assume a global grid)")
+        if backend not in ("threads", "processes"):
+            raise ValueError(
+                f"backend must be 'threads' or 'processes', got {backend!r}")
         self.deck = deck
         self.world = World(n_ranks)
         self.decomp = CartDecomposition.create(
@@ -122,12 +127,25 @@ class DistributedSimulation:
         #: every collective step with per-rank particle aggregates.
         self.recorder = None
         self._pool: ThreadPoolExecutor | None = None
+        #: Exchange schedule selection: threads ranks in one process
+        #: under serialized collective barriers (the bit-identity
+        #: reference); processes forks one worker per rank over a
+        #: shared-memory arena with the overlapped halo schedule.
+        self.backend = backend
+        self.overlap = overlap
+        self._pbackend = None
+        if backend == "processes":
+            from repro.mpi.process_backend import ProcessBackend
+            self._pbackend = ProcessBackend(self, overlap=overlap,
+                                            inject_fault=_inject_fault)
 
     def close(self) -> None:
-        """Shut down the rank-stepping thread pool (idempotent)."""
+        """Shut down the rank workers / thread pool (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._pbackend is not None:
+            self._pbackend.close()
 
     # -- collective views ----------------------------------------------------
 
@@ -256,6 +274,62 @@ class DistributedSimulation:
                                 sp.live("w"), sp.q)
                 advance_positions(x, y, z, ux, uy, uz, self.dt)
 
+    def _threads_lane(self) -> tuple[str, str | None]:
+        """(lane, fallback reason) the threads backend runs per rank."""
+        from repro.vpic.native import native_available, native_status
+        if self.plan.reference:
+            return "reference", "plan.reference selects the reference kernels"
+        if self.plan.native:
+            if native_available():
+                return "native-push", None
+            return "numpy-fused", f"native lane unavailable: {native_status()}"
+        if not self._fused_push_ok():
+            return "numpy-fused", ("fused push ineligible "
+                                   "(plan.fused off or non-CIC deposition)")
+        return "numpy-fused", "plan.native disabled"
+
+    def rank_lanes(self) -> list[tuple[str, str | None]]:
+        """Per-rank ``(lane, fallback_reason)`` as the ranks actually
+        run. The threads backend computes one lane in-process (all
+        ranks share it); the processes backend reports what each
+        worker observed at fork handshake — a rank silently demoted
+        (e.g. native build failed in its environment) shows up here.
+        """
+        if self._pbackend is not None:
+            return list(self._pbackend.rank_lanes)
+        return [self._threads_lane()] * self.n_ranks
+
+    def native_fallback_reason(self) -> str | None:
+        """Why this run is not on the whole-step native lane.
+
+        Distributed runs never are — the step interleaves per-rank
+        kernels with halo exchanges the whole-step lane cannot
+        express — so this always returns a reason; the per-rank
+        push/field lanes in :meth:`rank_lanes` may still be native.
+        """
+        lanes = self.rank_lanes()
+        kinds = {lane for lane, _ in lanes}
+        per_rank = kinds.pop() if len(kinds) == 1 else "mixed"
+        return (f"distributed step interleaves rank exchanges; "
+                f"per-rank lane is {per_rank} "
+                f"({self.backend} backend, {self.n_ranks} ranks)")
+
+    def _step_processes(self, k: int) -> None:
+        """Advance *k* steps on the processes backend (one command to
+        the whole worker fleet) and run the parent-side per-step
+        bookkeeping."""
+        t0 = time.perf_counter()
+        self._pbackend.run_steps(k)
+        self.step_count += k
+        from repro.observability.metrics import default_registry
+        lanes = self._pbackend.rank_lanes
+        lane = lanes[0][0] if lanes else "numpy-fused"
+        default_registry().counter(f"step_lane/{lane}").inc(k)
+        if self.recorder is not None:
+            self.recorder.on_step(self, (time.perf_counter() - t0) / k)
+        if self.guard is not None:
+            self.guard.check_step(self)
+
     def step(self) -> None:
         """One full distributed timestep (VPIC ordering).
 
@@ -269,6 +343,9 @@ class DistributedSimulation:
         marker, so a registered profiler sees one lane per rank; with
         no tool attached the markers are a shared no-op context.
         """
+        if self._pbackend is not None:
+            self._step_processes(1)
+            return
 
         # Field advances go through the native Yee kernels when the
         # plan allows and a compiled lane exists (bit-identical to the
@@ -327,8 +404,15 @@ class DistributedSimulation:
         if self.recorder is not None:
             self.recorder.on_run_start(self, num_steps)
         try:
-            for _ in range(num_steps):
-                self.step()
+            if (self._pbackend is not None and self.recorder is None
+                    and self.guard is None):
+                # No per-step parent work pending: command the whole
+                # batch at once so workers free-run without a
+                # round-trip per step.
+                self._step_processes(num_steps)
+            else:
+                for _ in range(num_steps):
+                    self.step()
         except BaseException as exc:
             if self.recorder is not None:
                 self.recorder.on_crash(self, exc)

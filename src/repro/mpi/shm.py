@@ -1,0 +1,228 @@
+"""Shared-memory arena and rank state for the processes backend.
+
+The multiprocessing backend runs every rank as a real forked process;
+all state a rank shares with its neighbors or with the parent —
+field bricks, particle arrays, halo mailboxes, sequence counters,
+telemetry — lives in one :class:`multiprocessing.shared_memory`
+block mapped before the fork, so children inherit the mapping and
+exchange data by memcpy instead of pickling.
+
+:class:`SharedArena` is the ``ScratchArena`` pattern sized up front:
+buffers are reserved by name (shape + dtype), the block is allocated
+once, and every consumer gets a numpy view into it. Reservation and
+materialization are split because the total size is only known after
+the whole layout (every rank's fields, species, and mailboxes) has
+been declared.
+
+:class:`SharedSpecies` rebinds a loaded :class:`~repro.vpic.species.
+Species` onto arena storage: the particle arrays become shared views
+and the two pieces of mutable scalar state (``n``, the lazy-voxel
+flag) move into shared int64 slots so the parent process observes a
+worker's appends/removals without any message traffic. Capacity is
+fixed at conversion time — cross-process reallocation is impossible,
+so overflow raises instead of growing.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.vpic.species import Species
+
+__all__ = ["SharedArena", "SharedSpecies"]
+
+#: Buffer alignment inside the block — cache-line aligned so the
+#: single-writer sequence counters never share a line with payload.
+_ALIGN = 64
+
+
+class SharedArena:
+    """Named numpy buffers carved from one shared-memory block.
+
+    Usage is two-phase::
+
+        arena = SharedArena()
+        arena.reserve("fields/0/ex", shape, np.float32)   # ... more
+        arena.allocate()
+        ex = arena.get("fields/0/ex")       # shared, zero-filled
+
+    ``allocate`` maps the block; ``get`` returns the same view object
+    on every call. The creating process owns the block: ``close``
+    unmaps and unlinks it (idempotent). Forked children inherit the
+    mapping and must never unlink.
+    """
+
+    def __init__(self) -> None:
+        self._specs: dict[str, tuple[tuple[int, ...], np.dtype, int]] = {}
+        self._size = 0
+        self._shm: shared_memory.SharedMemory | None = None
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def reserve(self, name: str, shape, dtype) -> None:
+        """Declare one named buffer (before :meth:`allocate`)."""
+        if self._shm is not None:
+            raise RuntimeError("arena already allocated")
+        if name in self._specs:
+            raise ValueError(f"buffer {name!r} reserved twice")
+        shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        offset = self._size
+        self._specs[name] = (shape, dt, offset)
+        self._size = (offset + nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+    def allocate(self) -> None:
+        """Map the block and materialize every reserved view.
+
+        Fresh shared memory is zero-filled by the OS, so buffers start
+        zeroed without touching every page here.
+        """
+        if self._shm is not None:
+            raise RuntimeError("arena already allocated")
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(self._size, 1))
+        for name, (shape, dt, offset) in self._specs.items():
+            count = int(np.prod(shape, dtype=np.int64))
+            arr = np.frombuffer(self._shm.buf, dtype=dt,
+                                count=count, offset=offset)
+            self._arrays[name] = arr.reshape(shape)
+
+    def get(self, name: str) -> np.ndarray:
+        """The shared view reserved under *name*."""
+        if self._shm is None:
+            raise RuntimeError("arena not allocated yet")
+        return self._arrays[name]
+
+    @property
+    def nbytes(self) -> int:
+        return self._size
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def close(self) -> None:
+        """Unlink the block and unmap it if possible (idempotent).
+
+        Views handed out earlier may legitimately outlive the arena —
+        the parent keeps reading rank state after shutting the
+        workers down — and each one holds a buffer export on the
+        mapping. In that case the name is still unlinked (no shm leak
+        across runs) but the mapping itself is left to die with the
+        last view; only a fully unreferenced arena unmaps eagerly.
+        """
+        if self._shm is None:
+            return
+        self._arrays.clear()
+        shm, self._shm = self._shm, None
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            # Exported pointers remain: disown the mapping so the
+            # eventual SharedMemory.__del__ is a no-op and the OS
+            # mapping is released when the last numpy view goes away
+            # (the buffer exports keep the mmap object alive).
+            shm._mmap = None
+            shm._buf = None
+            if shm._fd >= 0:
+                import os
+                os.close(shm._fd)
+                shm._fd = -1
+
+
+class SharedSpecies(Species):
+    """A species whose storage lives in a :class:`SharedArena`.
+
+    Built from an already-loaded prototype: the particle data is
+    copied into the shared views once, and ``n`` / the stale-voxel
+    flag become properties over a shared int64 state vector so every
+    process sees one consistent particle count. All of
+    :class:`Species`' methods (append/remove/live/energies) work
+    unchanged on the shared arrays; only growth is forbidden.
+    """
+
+    #: Layout of the shared scalar-state vector.
+    _STATE_N = 0
+    _STATE_STALE = 1
+    STATE_SLOTS = 2
+
+    def __init__(self, proto: Species, arrays: dict[str, np.ndarray],
+                 state: np.ndarray):
+        # Deliberately not calling the dataclass __init__: storage is
+        # adopted, not allocated.
+        self.name = proto.name
+        self.q = proto.q
+        self.m = proto.m
+        self.grid = proto.grid
+        self._state = state
+        # memoryview scalar reads skip numpy's scalar boxing — ``n``
+        # is read ~100x per distributed step, so the property cost is
+        # a measurable per-rank constant.
+        self._state_mv = memoryview(state)
+        cap = arrays["x"].shape[0]
+        for attr in self._ARRAYS:
+            arr = arrays[attr]
+            if arr.shape[0] != cap:
+                raise ValueError(f"array {attr!r} capacity mismatch")
+            setattr(self, attr, arr)
+        self.capacity = cap
+        if proto.n > cap:
+            raise ValueError(
+                f"species {proto.name!r}: {proto.n} particles exceed "
+                f"shared capacity {cap}")
+        k = proto.n
+        for attr in self._ARRAYS:
+            getattr(self, attr)[:k] = getattr(proto, attr)[:k]
+        self.tag[k:] = -1
+        self._state[self._STATE_N] = k
+        self._state[self._STATE_STALE] = int(proto._voxels_stale)
+
+    @classmethod
+    def array_specs(cls, capacity: int) -> list[tuple[str, tuple, object]]:
+        """(attr, shape, dtype) reservations for one species of
+        *capacity* particles (shared scalar state reserved separately
+        as ``int64[STATE_SLOTS]``)."""
+        specs = []
+        for attr in cls._ARRAYS:
+            dtype = np.int64 if attr in ("voxel", "tag") else np.float32
+            specs.append((attr, (capacity,), dtype))
+        return specs
+
+    # -- shared scalar state -------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._state_mv[self._STATE_N]
+
+    @n.setter
+    def n(self, value: int) -> None:
+        self._state_mv[self._STATE_N] = int(value)
+
+    @property
+    def _voxels_stale(self) -> bool:
+        return bool(self._state_mv[self._STATE_STALE])
+
+    @_voxels_stale.setter
+    def _voxels_stale(self, value: bool) -> None:
+        self._state_mv[self._STATE_STALE] = int(value)
+
+    # -- fixed capacity ------------------------------------------------------
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self.capacity:
+            return
+        raise MemoryError(
+            f"species {self.name!r}: need capacity {needed} but shared "
+            f"storage is fixed at {self.capacity} — the processes "
+            "backend sizes particle arrays at fork time (2x the loaded "
+            "count); this deck concentrates too many particles on one "
+            "rank. Use backend='threads' or lower ppc.")
+
+    def __repr__(self) -> str:
+        return (f"SharedSpecies({self.name!r}, q={self.q}, m={self.m}, "
+                f"n={self.n}/{self.capacity})")

@@ -269,6 +269,21 @@ class FlightRecorder:
                 header["native_status"] = native_status()
             except Exception:
                 pass
+        # Distributed runs: aggregate the per-rank lanes so one
+        # silently demoted rank (native build failed in its worker,
+        # plan gate tripped) is visible in the header instead of
+        # hiding behind the majority.
+        lanes_fn = getattr(sim, "rank_lanes", None)
+        if callable(lanes_fn):
+            agg: dict = {}
+            for lane, why in lanes_fn():
+                row = agg.setdefault(lane, {"lane": lane, "ranks": 0})
+                row["ranks"] += 1
+                if why is not None:
+                    row["reason"] = why
+            header["rank_lanes"] = sorted(agg.values(),
+                                          key=lambda r: -r["ranks"])
+            header["backend"] = getattr(sim, "backend", "threads")
         header.update(self.meta)
         self.header = header
         with open(os.path.join(self.run_dir, "header.json"), "w") as f:

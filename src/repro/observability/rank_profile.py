@@ -41,6 +41,7 @@ __all__ = [
     "RankProfiler",
     "RankProfileReport",
     "rank_profiling",
+    "report_from_components",
 ]
 
 #: Rank whose work is currently executing (None = collective).
@@ -147,6 +148,33 @@ class RankProfileReport:
         lines.append(f"load imbalance {self.load_imbalance:.3f}, "
                      f"halo wait fraction {self.halo_wait_fraction:.3f}")
         return "\n".join(lines)
+
+
+def report_from_components(push, comm, field, other) -> RankProfileReport:
+    """Build a :class:`RankProfileReport` from already-bucketed
+    per-rank seconds and export the two summary gauges.
+
+    The processes backend measures its time split directly in the
+    workers (shared stats array) instead of through callback spans;
+    this gives it the same report type — and the same
+    ``rank/load_imbalance`` / ``rank/halo_wait_fraction`` gauges —
+    as the span-based :meth:`RankProfiler.report`.
+    """
+    push = tuple(float(v) for v in push)
+    n = len(push)
+    report = RankProfileReport(
+        n_ranks=n,
+        push_seconds=push,
+        comm_seconds=tuple(float(v) for v in comm),
+        field_seconds=tuple(float(v) for v in field),
+        other_seconds=tuple(float(v) for v in other),
+    )
+    from repro.observability.metrics import default_registry
+    registry = default_registry()
+    registry.gauge("rank/load_imbalance").set(report.load_imbalance)
+    registry.gauge("rank/halo_wait_fraction").set(
+        report.halo_wait_fraction)
+    return report
 
 
 class RankProfiler:

@@ -179,6 +179,16 @@ class WatchView:
         elif lane == "fallback":
             lines.append("native lane   fallback — "
                          f"{h.get('native_fallback', 'unknown reason')}")
+        rank_lanes = h.get("rank_lanes")
+        if rank_lanes:
+            parts = []
+            for row in rank_lanes:
+                part = f"{row['ranks']}x {row['lane']}"
+                if row.get("reason") and len(rank_lanes) > 1:
+                    part += f" ({row['reason']})"
+                parts.append(part)
+            lines.append(f"rank lanes    {' · '.join(parts)} "
+                         f"[{h.get('backend', 'threads')}]")
         if self.last_energy is not None:
             lines.append(f"energy drift  "
                          f"{self.last_energy.get('drift', 0.0):.3e}")
